@@ -1,0 +1,267 @@
+(* Benchmark harness: regenerates every table and figure of the paper and
+   (with `--perf`) times the flow's computational kernels with Bechamel.
+
+     dune exec bench/main.exe                 regenerate everything
+     dune exec bench/main.exe -- table1       just Table 1 (runs ATPG)
+     dune exec bench/main.exe -- table2 table3 fig1 fig2 fig3 ablations
+     dune exec bench/main.exe -- --full       paper-scale circuits (slow)
+     dune exec bench/main.exe -- --perf       Bechamel micro-benchmarks
+
+   Absolute numbers come from the synthetic substrate (see DESIGN.md); the
+   shapes — who wins, by what rough factor, where things level off — are
+   what reproduce the paper. *)
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+(* ---- experiment scales ----
+   Table 1 re-runs ATPG per layout, so it defaults to a reduced scale;
+   Tables 2/3 run the physical flow at the documented default scales. *)
+let table1_scale = ref 0.35
+let area_scale : float option ref = ref None
+
+let circuits = [ "s38417"; "pcore_a"; "pcore_b" ]
+
+let table1 () =
+  say "=== Table 1: impact of TPI on test data (ATPG scale %.2f) ===" !table1_scale;
+  List.iter
+    (fun c ->
+      let rows = Core.Experiment.sweep ~with_atpg:true ~scale:!table1_scale c in
+      print_string (Core.Report.table1 rows);
+      print_newline ())
+    circuits
+
+let area_rows = Hashtbl.create 4
+
+let rows_for c =
+  match Hashtbl.find_opt area_rows c with
+  | Some rows -> rows
+  | None ->
+    let rows = Core.Experiment.sweep ~with_atpg:false ?scale:!area_scale c in
+    Hashtbl.replace area_rows c rows;
+    rows
+
+let table2 () =
+  say "=== Table 2: impact of TPI on silicon area ===";
+  List.iter
+    (fun c ->
+      print_string (Core.Report.table2 (rows_for c));
+      print_newline ())
+    circuits
+
+let table3 () =
+  say "=== Table 3: impact of TPI on timing (area-only optimisation) ===";
+  List.iter
+    (fun c ->
+      print_string (Core.Report.table3 (rows_for c));
+      print_newline ())
+    circuits
+
+let fig1 () =
+  say "=== Figure 1: transparent scan flip-flop modes ===";
+  List.iter
+    (fun (te, tr) ->
+      let t = Core.Tsff.create ~init:true () in
+      let mode =
+        match Core.Tsff.mode_of ~te ~tr with
+        | Core.Tsff.Application -> "application "
+        | Core.Tsff.Scan_shift -> "scan shift  "
+        | Core.Tsff.Scan_capture -> "scan capture"
+        | Core.Tsff.Flush -> "flush       "
+      in
+      let q d ti = Core.Tsff.output t ~d ~ti ~te ~tr in
+      say "TE=%d TR=%d %s  Q(D=0,TI=1)=%d  Q(D=1,TI=0)=%d" (Bool.to_int te)
+        (Bool.to_int tr) mode
+        (Bool.to_int (q false true))
+        (Bool.to_int (q true false)))
+    [ (false, false); (true, true); (false, true); (true, false) ];
+  say ""
+
+let fig2 () =
+  say "=== Figure 2: tool flow, stage by stage (s38417 at 0.25x, 1%% TP) ===";
+  let t0 = Unix.gettimeofday () in
+  let row = Core.quickstart ~circuit:"s38417" ~scale:0.25 ~tp_percent:1.0 () in
+  let r = row.Core.Experiment.result in
+  say "1. TPI + scan insertion      : %d test points, %d scan cells" r.Core.Pipeline.tp_count
+    r.Core.Pipeline.stats.Core.Stats.scan_ffs;
+  say "2. floorplanning + placement : %d rows, %.0f um2 core"
+    (Core.Floorplan.num_rows r.Core.Pipeline.placement.Core.Place.fp)
+    (Core.Floorplan.core_area r.Core.Pipeline.placement.Core.Place.fp);
+  say "3. scan reorder + ATPG       : %.0f -> %.0f um scan wire; %d patterns"
+    r.Core.Pipeline.reorder.Core.Scan_reorder.wirelength_before
+    r.Core.Pipeline.reorder.Core.Scan_reorder.wirelength_after
+    (match r.Core.Pipeline.atpg with Some o -> Core.Patgen.num_patterns o | None -> 0);
+  say "4. ECO + CTS + filler + route: %d clock buffers, %.2f%% filler, %.0f um wire"
+    r.Core.Pipeline.cts.Core.Cts.buffers
+    r.Core.Pipeline.filler.Core.Filler.filler_area_pct
+    r.Core.Pipeline.route.Core.Route.total_wirelength;
+  say "5-6. extraction + STA        : %s"
+    (match r.Core.Pipeline.sta.Core.Sta_analysis.worst with
+     | Some p -> Printf.sprintf "T_cp %.0f ps (F_max %.1f MHz)" p.Core.Sta_analysis.t_cp
+                   p.Core.Sta_analysis.fmax_mhz
+     | None -> "-");
+  say "total %.1fs" (Unix.gettimeofday () -. t0);
+  say ""
+
+let fig3 () =
+  say "=== Figure 3: layout after floorplanning / placement / routing ===";
+  let rows = rows_for "s38417" in
+  match rows with
+  | [] -> ()
+  | row :: _ ->
+    let r = row.Core.Experiment.result in
+    let pl = r.Core.Pipeline.placement in
+    Core.Render.write_file "fig3a_floorplan.svg" (Core.Render.svg_floorplan pl.Core.Place.fp);
+    Core.Render.write_file "fig3b_placement.svg" (Core.Render.svg_placement pl);
+    Core.Render.write_file "fig3c_routed.svg"
+      (Core.Render.svg_routed pl r.Core.Pipeline.route);
+    say "wrote fig3a_floorplan.svg, fig3b_placement.svg, fig3c_routed.svg";
+    say "placement density map:";
+    print_string (Core.Render.ascii_density ~cols:60 pl);
+    say ""
+
+let ablations () =
+  say "=== Ablation (paper section 5): excluding test points from critical paths ===";
+  let spec = Core.Experiment.spec_for ~scale:0.35 "s38417" in
+  let unrestricted = Core.Experiment.run_one ~with_atpg:true spec ~tp_pct:2 in
+  let restricted =
+    Core.Experiment.blocked_critical_nets spec ~tp_pct:2 ~slack_margin_ps:400.0
+  in
+  let describe name (row : Core.Experiment.row) =
+    let r = row.Core.Experiment.result in
+    let tcp =
+      match r.Core.Pipeline.sta.Core.Sta_analysis.worst with
+      | Some p -> p.Core.Sta_analysis.t_cp
+      | None -> 0.0
+    in
+    let tps_on_path =
+      match r.Core.Pipeline.sta.Core.Sta_analysis.worst with
+      | Some p -> p.Core.Sta_analysis.test_points_on_path
+      | None -> 0
+    in
+    say "%-14s: %d TPs, %d patterns, FC %.2f%%, T_cp %.0f ps, %d TPs on critical path"
+      name r.Core.Pipeline.tp_count
+      (match r.Core.Pipeline.atpg with Some o -> Core.Patgen.num_patterns o | None -> 0)
+      (match r.Core.Pipeline.atpg with
+       | Some o -> 100.0 *. o.Core.Patgen.fault_coverage
+       | None -> 0.0)
+      tcp tps_on_path
+  in
+  describe "unrestricted" unrestricted;
+  describe "path-excluded" restricted;
+  say "";
+  say "=== Ablation (paper section 5): timing optimisation vs. area ===";
+  let d = Core.Bench.s38417_like ~scale:0.35 () in
+  ignore (Core.Tpi_select.run d ~count:6);
+  ignore (Scan.Replace.run d);
+  let fp = Core.Floorplan.create d in
+  let pl = Core.Place.run d fp in
+  let tf = Flow.Timingfix.run pl in
+  say "before: T_cp %.0f ps, cell area %.0f um2" tf.Flow.Timingfix.t_cp_before
+    tf.Flow.Timingfix.cell_area_before;
+  say "after %d rounds (%d cells upsized): T_cp %.0f ps (%.1f%% faster), cell area %.0f um2 (+%.2f%%)"
+    tf.Flow.Timingfix.rounds tf.Flow.Timingfix.upsized_cells tf.Flow.Timingfix.t_cp_after
+    (100.0 *. (1.0 -. (tf.Flow.Timingfix.t_cp_after /. tf.Flow.Timingfix.t_cp_before)))
+    tf.Flow.Timingfix.cell_area_after
+    (100.0 *. ((tf.Flow.Timingfix.cell_area_after /. tf.Flow.Timingfix.cell_area_before) -. 1.0));
+  say "";
+  say "=== Ablation: layout-driven scan reorder (step 3) ===";
+  let row = List.nth (rows_for "s38417") 0 in
+  let r = row.Core.Experiment.result in
+  say "scan wiring without reordering: %.0f um"
+    r.Core.Pipeline.reorder.Core.Scan_reorder.wirelength_before;
+  say "scan wiring with reordering:    %.0f um"
+    r.Core.Pipeline.reorder.Core.Scan_reorder.wirelength_after;
+  say ""
+
+(* ---- Bechamel kernels: one per table/figure ---- *)
+let perf () =
+  let open Bechamel in
+  let tiny () = Core.Bench.tiny ~ffs:40 ~gates:500 () in
+  let table1_kernel =
+    Test.make ~name:"table1/atpg" (Staged.stage (fun () ->
+        let m = Core.Cmodel.build (tiny ()) in
+        ignore (Core.Patgen.run m)))
+  in
+  let table2_kernel =
+    Test.make ~name:"table2/place+route" (Staged.stage (fun () ->
+        let d = tiny () in
+        ignore (Core.Scan_chains.plan d (Core.Scan_chains.Max_length 20));
+        let fp = Core.Floorplan.create d in
+        let pl = Core.Place.run d fp in
+        ignore (Core.Route.run pl)))
+  in
+  let table3_kernel =
+    Test.make ~name:"table3/extract+sta" (Staged.stage (fun () ->
+        let d = tiny () in
+        let fp = Core.Floorplan.create d in
+        let pl = Core.Place.run d fp in
+        let rt = Core.Route.run pl in
+        let rc = Core.Extract.run pl rt in
+        ignore (Core.Sta_analysis.run pl rc)))
+  in
+  let fig1_kernel =
+    Test.make ~name:"fig1/tsff-sim" (Staged.stage (fun () ->
+        let t = Core.Tsff.create () in
+        for k = 0 to 999 do
+          let b = k land 1 = 0 in
+          ignore (Core.Tsff.output t ~d:b ~ti:(not b) ~te:b ~tr:(not b));
+          Core.Tsff.clock t ~d:b ~ti:(not b) ~te:b
+        done))
+  in
+  let fig2_kernel =
+    Test.make ~name:"fig2/full-pipeline" (Staged.stage (fun () ->
+        let d = tiny () in
+        let options =
+          { Core.Pipeline.default_options with
+            Core.Pipeline.run_atpg = false;
+            chain_config = Core.Scan_chains.Max_length 20 }
+        in
+        ignore (Core.Pipeline.run ~options d)))
+  in
+  let fig3_kernel =
+    Test.make ~name:"fig3/render" (Staged.stage (fun () ->
+        let d = tiny () in
+        let fp = Core.Floorplan.create d in
+        let pl = Core.Place.run d fp in
+        ignore (Core.Render.svg_placement pl)))
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 2.0) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                   ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"kernel" [ test ]) in
+      let ols = analyze results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> say "%-24s %12.3f ms/run" name (est /. 1e6)
+          | _ -> say "%-24s (no estimate)" name)
+        ols)
+    [ table1_kernel; table2_kernel; table3_kernel; fig1_kernel; fig2_kernel; fig3_kernel ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--full" args then begin
+    table1_scale := 1.0;
+    area_scale := None (* default per-circuit scales are the documented ones *)
+  end;
+  let wants = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let run name f = if wants = [] || List.mem name wants then f () in
+  if List.mem "--perf" args then perf ()
+  else begin
+    run "fig1" fig1;
+    run "table2" table2;
+    run "table3" table3;
+    run "fig2" fig2;
+    run "fig3" fig3;
+    run "ablations" ablations;
+    run "table1" table1
+  end

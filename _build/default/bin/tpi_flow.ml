@@ -1,0 +1,73 @@
+(* Command-line driver for the reproduction: run circuits through the
+   Figure-2 flow and print the paper's tables. *)
+
+open Cmdliner
+
+let circuit_arg =
+  let doc = "Benchmark circuit: s38417, pcore_a or pcore_b." in
+  Arg.(value & opt string "s38417" & info [ "c"; "circuit" ] ~docv:"NAME" ~doc)
+
+let scale_arg =
+  let doc = "Scale factor applied to the circuit profile (default: per-circuit)." in
+  Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"F" ~doc)
+
+let levels_arg =
+  let doc = "Test point percentages to sweep." in
+  Arg.(value & opt (list int) [ 0; 1; 2; 3; 4; 5 ] & info [ "levels" ] ~docv:"L" ~doc)
+
+let atpg_arg =
+  let doc = "Run ATPG (needed for Table 1; slower)." in
+  Arg.(value & flag & info [ "atpg" ] ~doc)
+
+let tables_arg =
+  let doc = "Tables to print (1, 2 and/or 3)." in
+  Arg.(value & opt (list int) [ 2; 3 ] & info [ "tables" ] ~docv:"T" ~doc)
+
+let svg_arg =
+  let doc = "Write Figure-3 SVG renderings of the baseline layout to this directory." in
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"DIR" ~doc)
+
+let def_arg =
+  let doc = "Write the baseline placement as a DEF file." in
+  Arg.(value & opt (some string) None & info [ "def" ] ~docv:"FILE" ~doc)
+
+let lib_arg =
+  let doc = "Export the standard-cell library as a Liberty (.lib) file." in
+  Arg.(value & opt (some string) None & info [ "liberty" ] ~docv:"FILE" ~doc)
+
+let run circuit scale levels atpg tables svg_dir def_file lib_file =
+  (match lib_file with
+   | Some path ->
+     Core.Liberty.write_file path Core.Library.default;
+     Printf.printf "wrote %s\n" path
+   | None -> ());
+  let rows = Core.Experiment.sweep ~with_atpg:atpg ~tp_levels:levels ?scale circuit in
+  if List.mem 1 tables && atpg then print_string (Core.Report.table1 rows);
+  if List.mem 2 tables then print_string (Core.Report.table2 rows);
+  if List.mem 3 tables then print_string (Core.Report.table3 rows);
+  print_string (Core.Report.summary rows);
+  (match (svg_dir, rows) with
+   | Some dir, row :: _ ->
+     let r = row.Core.Experiment.result in
+     let pl = r.Core.Pipeline.placement in
+     Core.Render.write_file (Filename.concat dir "floorplan.svg")
+       (Core.Render.svg_floorplan pl.Core.Place.fp);
+     Core.Render.write_file (Filename.concat dir "placement.svg")
+       (Core.Render.svg_placement pl);
+     Core.Render.write_file (Filename.concat dir "routed.svg")
+       (Core.Render.svg_routed pl r.Core.Pipeline.route);
+     Printf.printf "wrote Figure-3 SVGs to %s\n" dir
+   | _ -> ());
+  (match (def_file, rows) with
+   | Some path, row :: _ ->
+     Core.Defout.write_file path row.Core.Experiment.result.Core.Pipeline.placement;
+     Printf.printf "wrote %s\n" path
+   | _ -> ())
+
+let cmd =
+  let doc = "Reproduce 'Impact of Test Point Insertion on Silicon Area and Timing during Layout' (DATE 2004)" in
+  Cmd.v (Cmd.info "tpi_flow" ~doc)
+    Term.(const run $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ tables_arg
+          $ svg_arg $ def_arg $ lib_arg)
+
+let () = exit (Cmd.eval cmd)

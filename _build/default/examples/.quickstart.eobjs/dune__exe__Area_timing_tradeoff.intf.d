@@ -1,0 +1,1 @@
+examples/area_timing_tradeoff.mli:

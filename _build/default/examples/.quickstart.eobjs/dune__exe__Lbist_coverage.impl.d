@@ -1,0 +1,1 @@
+examples/lbist_coverage.ml: Core Format Lbist

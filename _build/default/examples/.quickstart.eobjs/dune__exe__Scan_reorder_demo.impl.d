@@ -1,0 +1,1 @@
+examples/scan_reorder_demo.ml: Core Float Format List Scan

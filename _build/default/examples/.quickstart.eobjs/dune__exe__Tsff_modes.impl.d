@@ -1,0 +1,1 @@
+examples/tsff_modes.ml: Core Format List

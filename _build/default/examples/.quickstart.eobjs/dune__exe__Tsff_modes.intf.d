@@ -1,0 +1,1 @@
+examples/tsff_modes.mli:

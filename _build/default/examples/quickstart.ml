@@ -1,0 +1,33 @@
+(* Quickstart: run the whole Figure-2 flow once on a scaled-down s38417
+   with 1% test points, and print what came out of every stage.
+
+   dune exec examples/quickstart.exe *)
+
+let () =
+  let row = Core.quickstart ~circuit:"s38417" ~scale:0.25 ~tp_percent:1.0 () in
+  let r = row.Core.Experiment.result in
+  let d = r.Core.Pipeline.design in
+  Format.printf "circuit: %s@." d.Core.Design.design_name;
+  Format.printf "netlist: %a@." Core.Stats.pp r.Core.Pipeline.stats;
+  Format.printf "test points inserted: %d@." r.Core.Pipeline.tp_count;
+  Format.printf "scan: %d chains, longest %d@."
+    (Core.Scan_chains.num_chains r.Core.Pipeline.chains)
+    r.Core.Pipeline.chains.Core.Scan_chains.lmax;
+  (match r.Core.Pipeline.atpg with
+   | Some o ->
+     Format.printf "ATPG: %d compact patterns, FC %.2f%%, FE %.2f%%@."
+       (Core.Patgen.num_patterns o)
+       (100.0 *. o.Core.Patgen.fault_coverage)
+       (100.0 *. o.Core.Patgen.fault_efficiency);
+     Format.printf "test data: %d bits, %d cycles (eqs. 1-2)@."
+       r.Core.Pipeline.tdv_bits r.Core.Pipeline.tat_cycles
+   | None -> ());
+  let fp = r.Core.Pipeline.placement.Core.Place.fp in
+  Format.printf "layout: %d rows, core %.0f um^2, chip %.0f um^2, wires %.0f um@."
+    (Core.Floorplan.num_rows fp) (Core.Floorplan.core_area fp)
+    (Core.Floorplan.chip_area fp) r.Core.Pipeline.route.Core.Route.total_wirelength;
+  (match r.Core.Pipeline.sta.Core.Sta_analysis.worst with
+   | Some p -> Format.printf "timing: %a@." (Core.Sta_analysis.pp_path d) p
+   | None -> ());
+  Format.printf "@.placement density:@.%s@."
+    (Core.Render.ascii_density ~cols:48 r.Core.Pipeline.placement)

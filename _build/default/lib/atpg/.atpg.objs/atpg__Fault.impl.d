@@ -1,0 +1,1 @@
+lib/atpg/fault.ml: Array Format Int64 List Netlist Stdcell

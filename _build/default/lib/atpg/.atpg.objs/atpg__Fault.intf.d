@@ -1,0 +1,1 @@
+lib/atpg/fault.mli: Format Netlist Stdcell

@@ -1,0 +1,1 @@
+lib/atpg/fsim.ml: Array Fault Int64 List Netlist Stack Stdcell

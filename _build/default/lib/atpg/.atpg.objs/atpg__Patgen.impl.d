@@ -1,0 +1,1 @@
+lib/atpg/patgen.ml: Array Bytes Fault Fsim Hashtbl Int64 List Netlist Podem Seq Testability Util

@@ -1,0 +1,1 @@
+lib/atpg/patgen.mli: Bytes Fault Netlist

@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Fault Format Int64 List Netlist Option Queue Stack Stdcell Testability Util

@@ -1,0 +1,1 @@
+lib/atpg/podem.mli: Fault Netlist

@@ -1,0 +1,145 @@
+module Cmodel = Netlist.Cmodel
+module Cell = Stdcell.Cell
+
+type t = {
+  m : Cmodel.t;
+  val_good : int64 array;     (* by net id *)
+  val_fault : int64 array;    (* by net id, valid when dirty *)
+  dirty : bool array;         (* by net id *)
+  touched : int Stack.t;
+  scheduled : bool array;     (* by gate index *)
+  buckets : int list array;   (* gates to process, by level *)
+  max_level : int;
+  ins_buf : int64 array;      (* scratch for gate inputs, max arity *)
+}
+
+let create (m : Cmodel.t) =
+  let nn = m.Cmodel.num_nets in
+  let max_level =
+    Array.fold_left (fun acc (g : Cmodel.gate) -> max acc g.Cmodel.g_level) 0 m.Cmodel.gates
+  in
+  { m;
+    val_good = Array.make nn 0L;
+    val_fault = Array.make nn 0L;
+    dirty = Array.make nn false;
+    touched = Stack.create ();
+    scheduled = Array.make (Array.length m.Cmodel.gates) false;
+    buckets = Array.make (max_level + 2) [];
+    max_level;
+    ins_buf = Array.make 4 0L }
+
+let model t = t.m
+
+let num_sources t = Array.length t.m.Cmodel.sources
+
+let set_sources t words =
+  if Array.length words <> num_sources t then invalid_arg "Fsim.set_sources: arity";
+  Array.iteri (fun k (n, _) -> t.val_good.(n) <- words.(k)) t.m.Cmodel.sources;
+  Array.iter
+    (fun (n, v) -> t.val_good.(n) <- (if v then -1L else 0L))
+    t.m.Cmodel.consts;
+  Array.iter
+    (fun (g : Cmodel.gate) ->
+      let arity = Array.length g.Cmodel.g_ins in
+      for i = 0 to arity - 1 do
+        t.ins_buf.(i) <- t.val_good.(g.Cmodel.g_ins.(i))
+      done;
+      (* eval64 only reads the first [arity] entries *)
+      t.val_good.(g.Cmodel.g_out) <- Cell.eval64 g.Cmodel.g_kind t.ins_buf)
+    t.m.Cmodel.gates
+
+let good t n = t.val_good.(n)
+
+let effective t n = if t.dirty.(n) then t.val_fault.(n) else t.val_good.(n)
+
+let set_faulty t n v =
+  if not t.dirty.(n) then begin
+    t.dirty.(n) <- true;
+    Stack.push n t.touched
+  end;
+  t.val_fault.(n) <- v
+
+let reset t =
+  while not (Stack.is_empty t.touched) do
+    t.dirty.(Stack.pop t.touched) <- false
+  done
+
+let schedule t scheduled_list gi =
+  if not t.scheduled.(gi) then begin
+    t.scheduled.(gi) <- true;
+    scheduled_list := gi :: !scheduled_list;
+    let level = t.m.Cmodel.gates.(gi).Cmodel.g_level in
+    t.buckets.(level) <- gi :: t.buckets.(level)
+  end
+
+let schedule_fanout t scheduled_list n =
+  List.iter (fun (gi, _) -> schedule t scheduled_list gi) t.m.Cmodel.fanout.(n)
+
+(* Propagate pending events level by level. [forced] optionally overrides
+   one gate input (branch fault injection). Returns the accumulated
+   detection mask. *)
+let propagate t scheduled_list ~forced =
+  let detected = ref 0L in
+  for level = 0 to t.max_level + 1 do
+    let gates = t.buckets.(level) in
+    t.buckets.(level) <- [];
+    List.iter
+      (fun gi ->
+        let g = t.m.Cmodel.gates.(gi) in
+        let arity = Array.length g.Cmodel.g_ins in
+        for i = 0 to arity - 1 do
+          t.ins_buf.(i) <- effective t g.Cmodel.g_ins.(i)
+        done;
+        (match forced with
+         | Some (fgi, pos, word) when fgi = gi -> t.ins_buf.(pos) <- word
+         | _ -> ());
+        let out_f = Cell.eval64 g.Cmodel.g_kind t.ins_buf in
+        let out = g.Cmodel.g_out in
+        if out_f <> effective t out then begin
+          set_faulty t out out_f;
+          if t.m.Cmodel.is_observed.(out) then
+            detected := Int64.logor !detected (Int64.logxor out_f t.val_good.(out));
+          schedule_fanout t scheduled_list out
+        end)
+      gates
+  done;
+  !detected
+
+let cleanup t scheduled_list =
+  List.iter (fun gi -> t.scheduled.(gi) <- false) !scheduled_list;
+  reset t
+
+let stuck_word stuck = if stuck then -1L else 0L
+
+let detect_mask t (f : Fault.fault) =
+  let sw = stuck_word f.Fault.stuck in
+  match f.Fault.site with
+  | Fault.Obs_branch k ->
+    let n = fst t.m.Cmodel.observes.(k) in
+    Int64.logxor t.val_good.(n) sw
+  | Fault.Stem n ->
+    let diff = Int64.logxor t.val_good.(n) sw in
+    if diff = 0L then 0L
+    else if t.m.Cmodel.is_observed.(n) then diff
+    else begin
+      let scheduled_list = ref [] in
+      set_faulty t n sw;
+      schedule_fanout t scheduled_list n;
+      let detected = propagate t scheduled_list ~forced:None in
+      cleanup t scheduled_list;
+      detected
+    end
+  | Fault.Branch (gi, pos) ->
+    let g = t.m.Cmodel.gates.(gi) in
+    let n = g.Cmodel.g_ins.(pos) in
+    let diff = Int64.logxor t.val_good.(n) sw in
+    if diff = 0L then 0L
+    else begin
+      let scheduled_list = ref [] in
+      schedule t scheduled_list gi;
+      let detected = propagate t scheduled_list ~forced:(Some (gi, pos, sw)) in
+      cleanup t scheduled_list;
+      detected
+    end
+
+let detects t f = detect_mask t f <> 0L

@@ -1,0 +1,249 @@
+module Cmodel = Netlist.Cmodel
+module Rng = Util.Rng
+
+type config = {
+  seed : int;
+  random_batches_max : int;
+  random_yield_stop : int;
+  backtrack_limit : int;
+  merge_fail_stop : int;
+  merge_tries_max : int;
+}
+
+let default_config =
+  { seed = 0xA7B6;
+    random_batches_max = 0;  (* compact ATPG: deterministic-only by default *)
+    random_yield_stop = 8;
+    backtrack_limit = 250;
+    merge_fail_stop = 24;
+    merge_tries_max = 512 }
+
+type outcome = {
+  patterns : Bytes.t list;
+  universe : Fault.universe;
+  fault_coverage : float;
+  fault_efficiency : float;
+  random_patterns : int;
+  deterministic_patterns : int;
+  aborted : int;
+  redundant : int;
+}
+
+let num_patterns o = List.length o.patterns
+
+(* extract pattern [bit] of the batch as a concrete source assignment *)
+let column words bit =
+  let ns = Array.length words in
+  let b = Bytes.create ns in
+  for s = 0 to ns - 1 do
+    Bytes.unsafe_set b s
+      (if Int64.logand (Int64.shift_right_logical words.(s) bit) 1L = 1L then '\001'
+       else '\000')
+  done;
+  b
+
+let bit_set mask bit = Int64.logand (Int64.shift_right_logical mask bit) 1L = 1L
+
+let random_words rng ns =
+  Array.init ns (fun _ -> Rng.int64 rng)
+
+(* Reverse-order static compaction: re-simulate the final pattern set newest
+   first (in batches of 64) and keep only patterns that detect something not
+   already covered by a kept pattern. Late patterns carry the hard targeted
+   faults, so they survive and redundant early patterns fall out. *)
+let static_compact sim (universe : Fault.universe) patterns =
+  let live =
+    Array.of_seq
+      (Seq.filter
+         (fun (f : Fault.fault) ->
+           Fault.representative universe f == f && f.Fault.status = Fault.Detected)
+         (Array.to_seq universe.Fault.faults))
+  in
+  let undetected = Array.map (fun _ -> true) live in
+  let pats = Array.of_list patterns in
+  let np = Array.length pats in
+  let keep = Array.make np false in
+  let ns = if np > 0 then Bytes.length pats.(0) else 0 in
+  let pos = ref (np - 1) in
+  while !pos >= 0 do
+    let first = max 0 (!pos - 63) in
+    let width = !pos - first + 1 in
+    let words = Array.make ns 0L in
+    for bit = 0 to width - 1 do
+      let p = pats.(first + bit) in
+      for s = 0 to ns - 1 do
+        if Bytes.unsafe_get p s = '\001' then
+          words.(s) <- Int64.logor words.(s) (Int64.shift_left 1L bit)
+      done
+    done;
+    Fsim.set_sources sim words;
+    let masks =
+      Array.mapi
+        (fun i f -> if undetected.(i) then Fsim.detect_mask sim f else 0L)
+        live
+    in
+    for bit = width - 1 downto 0 do
+      let adds = ref false in
+      Array.iteri
+        (fun i m -> if undetected.(i) && bit_set m bit then adds := true)
+        masks;
+      if !adds then begin
+        keep.(first + bit) <- true;
+        Array.iteri
+          (fun i m -> if bit_set m bit then undetected.(i) <- false)
+          masks
+      end
+    done;
+    pos := first - 1
+  done;
+  let out = ref [] in
+  for p = np - 1 downto 0 do
+    if keep.(p) then out := pats.(p) :: !out
+  done;
+  !out
+
+let run ?(config = default_config) (m : Cmodel.t) =
+  let rng = Rng.create config.seed in
+  let universe = Fault.build m in
+  let sim = Fsim.create m in
+  let ns = Array.length m.Cmodel.sources in
+  let patterns = ref [] in
+  let random_patterns = ref 0 and deterministic_patterns = ref 0 in
+  let live = ref [] in
+  Array.iter
+    (fun (f : Fault.fault) ->
+      if f.Fault.status = Fault.Undetected then live := f :: !live)
+    universe.Fault.representatives;
+  live := List.rev !live;
+  let drop_detected mask_of =
+    live :=
+      List.filter
+        (fun (f : Fault.fault) ->
+          if f.Fault.status <> Fault.Undetected then false
+          else if mask_of f then begin
+            f.Fault.status <- Fault.Detected;
+            false
+          end
+          else true)
+        !live
+  in
+  (* ---- optional random warm-up (off in the default compact flow) ---- *)
+  let batches = ref 0 and stop = ref (config.random_batches_max <= 0) in
+  while not !stop do
+    incr batches;
+    if !batches > config.random_batches_max || !live = [] then stop := true
+    else begin
+      let words = random_words rng ns in
+      Fsim.set_sources sim words;
+      let best = ref 0 and counts = Array.make 64 0 in
+      let masks = List.map (fun f -> (f, Fsim.detect_mask sim f)) !live in
+      List.iter
+        (fun (_, m) ->
+          for bit = 0 to 63 do
+            if bit_set m bit then counts.(bit) <- counts.(bit) + 1
+          done)
+        masks;
+      for bit = 1 to 63 do
+        if counts.(bit) > counts.(!best) then best := bit
+      done;
+      if counts.(!best) < config.random_yield_stop then stop := true
+      else begin
+        patterns := column words !best :: !patterns;
+        incr random_patterns;
+        let table = Hashtbl.create 64 in
+        List.iter (fun ((f : Fault.fault), m) -> Hashtbl.replace table f.Fault.fid m) masks;
+        drop_detected (fun f ->
+            match Hashtbl.find_opt table f.Fault.fid with
+            | Some m -> bit_set m !best
+            | None -> false)
+      end
+    end
+  done;
+  (* ---- deterministic phase with dynamic compaction ---- *)
+  let podem = Podem.create m in
+  let aborted = ref 0 and redundant = ref 0 in
+  (* hardest first: big cubes early absorb easier targets, and the merge
+     capacity of a pattern then reflects the circuit's testability *)
+  let cop = Testability.Cop.compute m in
+  let hardness (f : Fault.fault) =
+    let n = Fault.site_net m f.Fault.site in
+    Testability.Cop.detectability cop n
+  in
+  let targets = Array.of_list !live in
+  Array.sort (fun a b -> compare (hardness a) (hardness b)) targets;
+  let ntargets = Array.length targets in
+  Array.iteri
+    (fun ti (f : Fault.fault) ->
+      if f.Fault.status = Fault.Undetected then begin
+        Podem.reset podem;
+        match Podem.attempt ~backtrack_limit:config.backtrack_limit podem ~keep:true f with
+        | Podem.Untestable ->
+          f.Fault.status <- Fault.Redundant;
+          incr redundant
+        | Podem.Abort ->
+          f.Fault.status <- Fault.Aborted;
+          incr aborted
+        | Podem.Test cube0 ->
+          (* dynamic compaction: keep the cube applied and pile further
+             targets on top until conflicts dominate (a run of consecutive
+             failures) -- so merge capacity tracks testability, which is
+             exactly the lever test points pull *)
+          let fails = ref 0 and tries = ref 0 in
+          let tj = ref (ti + 1) in
+          let cube = ref cube0 in
+          while
+            !fails < config.merge_fail_stop
+            && !tries < config.merge_tries_max
+            && !tj < ntargets
+          do
+            let g = targets.(!tj) in
+            incr tj;
+            if g.Fault.status = Fault.Undetected then begin
+              incr tries;
+              match Podem.attempt ~backtrack_limit:8 podem ~keep:true g with
+              | Podem.Test cube' ->
+                cube := cube';
+                fails := 0
+              | Podem.Abort | Podem.Untestable -> incr fails
+            end
+          done;
+          (* 64 random fills of the final cube; keep the most serendipitous *)
+          let words = random_words rng ns in
+          List.iter (fun (s, v) -> words.(s) <- (if v then -1L else 0L)) !cube;
+          Fsim.set_sources sim words;
+          let masks = List.map (fun g -> (g, Fsim.detect_mask sim g)) !live in
+          let counts = Array.make 64 0 in
+          List.iter
+            (fun (_, mask) ->
+              for bit = 0 to 63 do
+                if bit_set mask bit then counts.(bit) <- counts.(bit) + 1
+              done)
+            masks;
+          let best = ref 0 in
+          for bit = 1 to 63 do
+            if counts.(bit) > counts.(!best) then best := bit
+          done;
+          patterns := column words !best :: !patterns;
+          incr deterministic_patterns;
+          let table = Hashtbl.create 64 in
+          List.iter (fun ((g : Fault.fault), mask) -> Hashtbl.replace table g.Fault.fid mask) masks;
+          drop_detected (fun g ->
+              match Hashtbl.find_opt table g.Fault.fid with
+              | Some mask -> bit_set mask !best
+              | None -> false);
+          if f.Fault.status = Fault.Undetected then begin
+            f.Fault.status <- Fault.Aborted;
+            incr aborted
+          end
+      end)
+    targets;
+  let fault_coverage, fault_efficiency = Fault.coverage universe in
+  let patterns = static_compact sim universe (List.rev !patterns) in
+  { patterns;
+    universe;
+    fault_coverage;
+    fault_efficiency;
+    random_patterns = !random_patterns;
+    deterministic_patterns = !deterministic_patterns;
+    aborted = !aborted;
+    redundant = !redundant }

@@ -1,0 +1,481 @@
+module Cmodel = Netlist.Cmodel
+module Cell = Stdcell.Cell
+
+type result =
+  | Test of (int * bool) list
+  | Untestable
+  | Abort
+
+(* ternary encoding: 0, 1, 2 = X *)
+let x = 2
+
+let debug = ref false
+
+type trail_entry =
+  | Gv of int * int          (* net, old good value *)
+  | Fv of int * int * int    (* net, old fv, old fstamp *)
+
+type t = {
+  m : Cmodel.t;
+  gv : int array;               (* good ternary value per net *)
+  fv : int array;               (* faulty overlay, valid when fstamp = stamp *)
+  fstamp : int array;
+  mutable stamp : int;
+  trail : trail_entry Stack.t;
+  d_nets : (int * int) Stack.t; (* (net, trail length when it became a D) *)
+  source_index : int array;     (* net id -> index in m.sources, or -1 *)
+  cc0 : float array;            (* SCOAP guidance *)
+  cc1 : float array;
+  co : float array;             (* SCOAP observability: D-frontier ranking *)
+  obs_dist : int array;         (* net id -> gate-distance to an observe site *)
+  xpath_seen : int array;
+  mutable xpath_stamp : int;
+  rng : Util.Rng.t;  (* randomises search tie-breaks between restarts *)
+}
+
+let create (m : Cmodel.t) =
+  let nn = m.Cmodel.num_nets in
+  let source_index = Array.make nn (-1) in
+  Array.iteri (fun k (n, _) -> source_index.(n) <- k) m.Cmodel.sources;
+  let scoap = Testability.Scoap.compute m in
+  let obs_dist = Array.make nn max_int in
+  Array.iter (fun (n, _) -> obs_dist.(n) <- 0) m.Cmodel.observes;
+  for gi = Array.length m.Cmodel.gates - 1 downto 0 do
+    let g = m.Cmodel.gates.(gi) in
+    let dout = obs_dist.(g.Cmodel.g_out) in
+    if dout < max_int then
+      Array.iter
+        (fun n -> if dout + 1 < obs_dist.(n) then obs_dist.(n) <- dout + 1)
+        m.Cmodel.gates.(gi).Cmodel.g_ins
+  done;
+  let gv = Array.make nn x in
+  (* constants are baked in and never touched by trails *)
+  Array.iter (fun (n, v) -> gv.(n) <- (if v then 1 else 0)) m.Cmodel.consts;
+  { m;
+    gv;
+    fv = Array.make nn x;
+    fstamp = Array.make nn (-1);
+    stamp = 0;
+    trail = Stack.create ();
+    d_nets = Stack.create ();
+    source_index;
+    cc0 = scoap.Testability.Scoap.cc0;
+    cc1 = scoap.Testability.Scoap.cc1;
+    co = scoap.Testability.Scoap.co;
+    obs_dist;
+    xpath_seen = Array.make nn (-1);
+    xpath_stamp = 0;
+    rng = Util.Rng.create 0x90DE }
+
+(* ---- fault context ---- *)
+
+type fault_ctx = {
+  fault : Fault.fault;
+  stem_net : int;                   (* net pinned in the faulty circuit, or -1 *)
+  branch : (int * int) option;      (* (gate index, pos) forced, or None *)
+  site_net : int;
+  justify_only : bool;
+}
+
+let make_ctx (m : Cmodel.t) (f : Fault.fault) =
+  match f.Fault.site with
+  | Fault.Stem n ->
+    { fault = f; stem_net = n; branch = None; site_net = n; justify_only = false }
+  | Fault.Branch (gi, pos) ->
+    { fault = f;
+      stem_net = -1;
+      branch = Some (gi, pos);
+      site_net = m.Cmodel.gates.(gi).Cmodel.g_ins.(pos);
+      justify_only = false }
+  | Fault.Obs_branch k ->
+    { fault = f;
+      stem_net = -1;
+      branch = None;
+      site_net = fst m.Cmodel.observes.(k);
+      justify_only = true }
+
+(* ---- state primitives ---- *)
+
+let eff_fv t n = if t.fstamp.(n) = t.stamp then t.fv.(n) else t.gv.(n)
+
+let mark_d t n =
+  let g = t.gv.(n) and f = eff_fv t n in
+  if g <> x && f <> x && g <> f then Stack.push (n, Stack.length t.trail) t.d_nets
+
+let set_gv t n v =
+  if t.gv.(n) <> v then begin
+    Stack.push (Gv (n, t.gv.(n))) t.trail;
+    t.gv.(n) <- v;
+    true
+  end
+  else false
+
+let set_fv t n v =
+  if eff_fv t n <> v then begin
+    Stack.push (Fv (n, t.fv.(n), t.fstamp.(n))) t.trail;
+    t.fv.(n) <- v;
+    t.fstamp.(n) <- t.stamp;
+    true
+  end
+  else false
+
+let undo_to t mark =
+  while Stack.length t.trail > mark do
+    match Stack.pop t.trail with
+    | Gv (n, old) -> t.gv.(n) <- old
+    | Fv (n, old, old_stamp) ->
+      t.fv.(n) <- old;
+      t.fstamp.(n) <- old_stamp
+  done;
+  while (not (Stack.is_empty t.d_nets)) && snd (Stack.top t.d_nets) > mark do
+    ignore (Stack.pop t.d_nets)
+  done
+
+let reset t =
+  undo_to t 0;
+  Stack.clear t.d_nets
+
+(* ---- implication ---- *)
+
+let gate_in (g : Cmodel.gate) i = if i < Array.length g.Cmodel.g_ins then g.Cmodel.g_ins.(i) else -1
+
+let eval_gate t ctx gi =
+  let g = t.m.Cmodel.gates.(gi) in
+  let i0 = gate_in g 0 and i1 = gate_in g 1 and i2 = gate_in g 2 in
+  let ga = if i0 >= 0 then t.gv.(i0) else 0
+  and gb = if i1 >= 0 then t.gv.(i1) else 0
+  and gc = if i2 >= 0 then t.gv.(i2) else 0 in
+  let fa = if i0 >= 0 then eff_fv t i0 else 0
+  and fb = if i1 >= 0 then eff_fv t i1 else 0
+  and fc = if i2 >= 0 then eff_fv t i2 else 0 in
+  let fa, fb, fc =
+    match ctx.branch with
+    | Some (bgi, pos) when bgi = gi ->
+      let sv = if ctx.fault.Fault.stuck then 1 else 0 in
+      (match pos with
+       | 0 -> (sv, fb, fc)
+       | 1 -> (fa, sv, fc)
+       | _ -> (fa, fb, sv))
+    | _ -> (fa, fb, fc)
+  in
+  let gout = Cell.eval3 g.Cmodel.g_kind ga gb gc in
+  let fout = Cell.eval3 g.Cmodel.g_kind fa fb fc in
+  (g.Cmodel.g_out, gout, fout)
+
+(* forward implication from a changed net; values only refine *)
+let imply t ctx start =
+  let queue = Queue.create () in
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    List.iter
+      (fun (gi, _) ->
+        let out, gout, fout = eval_gate t ctx gi in
+        (* the stem net is pinned in the faulty circuit *)
+        let fout =
+          if out = ctx.stem_net then (if ctx.fault.Fault.stuck then 1 else 0) else fout
+        in
+        let changed_g = set_gv t out gout in
+        let changed_f = set_fv t out fout in
+        if changed_g || changed_f then begin
+          mark_d t out;
+          Queue.add out queue
+        end)
+      t.m.Cmodel.fanout.(n)
+  done
+
+let assign_source t ctx n v =
+  let tv = if v then 1 else 0 in
+  ignore (set_gv t n tv);
+  let fvv = if n = ctx.stem_net then (if ctx.fault.Fault.stuck then 1 else 0) else tv in
+  ignore (set_fv t n fvv);
+  mark_d t n;
+  imply t ctx n
+
+(* ---- detection, frontier, objectives ---- *)
+
+let detected t ctx =
+  if ctx.justify_only then begin
+    let want = if ctx.fault.Fault.stuck then 0 else 1 in
+    t.gv.(ctx.site_net) = want
+  end
+  else begin
+    let found = ref false in
+    Stack.iter (fun (n, _) -> if t.m.Cmodel.is_observed.(n) then found := true) t.d_nets;
+    !found
+  end
+
+(* X-path check: can [n] still reach an observable site through X nets? *)
+let has_x_path t n =
+  t.xpath_stamp <- t.xpath_stamp + 1;
+  let stamp = t.xpath_stamp in
+  let rec dfs n =
+    if t.xpath_seen.(n) = stamp then false
+    else begin
+      t.xpath_seen.(n) <- stamp;
+      if t.m.Cmodel.is_observed.(n) then true
+      else
+        List.exists
+          (fun (gi, _) ->
+            let out = t.m.Cmodel.gates.(gi).Cmodel.g_out in
+            (t.gv.(out) = x || eff_fv t out = x) && dfs out)
+          t.m.Cmodel.fanout.(n)
+    end
+  in
+  dfs n
+
+let d_frontier t ctx =
+  let best = ref None in
+  let consider gi =
+    let g = t.m.Cmodel.gates.(gi) in
+    let out = g.Cmodel.g_out in
+    (* rank by SCOAP observability cost, not distance: a wide XOR tree sits
+       next to an output yet needs its whole support justified *)
+    if (t.gv.(out) = x || eff_fv t out = x)
+       && (match !best with Some (_, bc) -> t.co.(out) < bc | None -> true)
+       && has_x_path t out
+    then best := Some (gi, t.co.(out))
+  in
+  Stack.iter
+    (fun (n, _) -> List.iter (fun (gi, _) -> consider gi) t.m.Cmodel.fanout.(n))
+    t.d_nets;
+  (* a branch fault's D lives on the pin, not the net: once the site net is
+     activated the faulted gate itself is the frontier *)
+  (match ctx.branch with
+   | Some (gi, _) ->
+     let want = if ctx.fault.Fault.stuck then 0 else 1 in
+     if t.gv.(ctx.site_net) = want then consider gi
+   | None -> ());
+  Option.map fst !best
+
+type objective_verdict =
+  | Assign of int * bool   (* justify (net, value) in the good circuit *)
+  | Resolve_faulty         (* frontier alive but gated on unresolved faulty
+                              values (reconvergence): branch on any free
+                              source to make progress *)
+  | Refuted                (* no way forward under the current assignment *)
+
+let objective t ctx =
+  let want_site = if ctx.fault.Fault.stuck then 0 else 1 in
+  if t.gv.(ctx.site_net) = x then Assign (ctx.site_net, want_site = 1)
+  else if t.gv.(ctx.site_net) <> want_site then Refuted
+  else if ctx.justify_only then Refuted
+  else
+    match d_frontier t ctx with
+    | None -> Refuted
+    | Some gi ->
+      let g = t.m.Cmodel.gates.(gi) in
+      let arity = Array.length g.Cmodel.g_ins in
+      let pick = ref None in
+      for i = arity - 1 downto 0 do
+        let n = g.Cmodel.g_ins.(i) in
+        if t.gv.(n) = x then begin
+          let v =
+            match Fault.forced_output g.Cmodel.g_kind ~arity ~pos:i ~v:true with
+            | Some _ -> false (* 1 is controlling: aim for the non-controlling 0 *)
+            | None -> true
+          in
+          pick := Some (n, v)
+        end
+      done;
+      (match !pick with
+       | Some (n, v) -> Assign (n, v)
+       | None ->
+         (* every input's good value is known, but the frontier is open
+            because a faulty-circuit value is still X -- more source
+            assignments are needed to resolve it *)
+         Resolve_faulty)
+
+let backtrace t obj =
+  let rec walk n v depth =
+    if depth > 10_000 then None
+    else if t.source_index.(n) >= 0 then if t.gv.(n) = x then Some (n, v) else None
+    else
+      match t.m.Cmodel.driver_gate.(n) with
+      | -1 -> None
+      | gi ->
+        let g = t.m.Cmodel.gates.(gi) in
+        let arity = Array.length g.Cmodel.g_ins in
+        let best = ref None in
+        for mask = 0 to (1 lsl arity) - 1 do
+          let bits = Array.init arity (fun i -> mask land (1 lsl i) <> 0) in
+          let consistent =
+            Array.for_all2
+              (fun b inn -> t.gv.(inn) = x || t.gv.(inn) = (if b then 1 else 0))
+              bits g.Cmodel.g_ins
+          in
+          if consistent then begin
+            let words = Array.map (fun b -> if b then -1L else 0L) bits in
+            let out = Int64.logand (Cell.eval64 g.Cmodel.g_kind words) 1L = 1L in
+            if out = v then begin
+              let cost = ref 0.0 in
+              Array.iteri
+                (fun i b ->
+                  let inn = g.Cmodel.g_ins.(i) in
+                  if t.gv.(inn) = x then
+                    cost := !cost +. (if b then t.cc1.(inn) else t.cc0.(inn)))
+                bits;
+              (* jitter breaks ties differently on every restart *)
+              cost := !cost *. (1.0 +. Util.Rng.float t.rng 0.25);
+              match !best with
+              | Some (_, c) when c <= !cost -> ()
+              | _ -> best := Some (bits, !cost)
+            end
+          end
+        done;
+        (match !best with
+         | None -> None
+         | Some (bits, _) ->
+           let follow = ref None in
+           Array.iteri
+             (fun i b ->
+               if !follow = None && t.gv.(g.Cmodel.g_ins.(i)) = x then
+                 follow := Some (g.Cmodel.g_ins.(i), b))
+             bits;
+           (match !follow with
+            | None -> None
+            | Some (n', v') -> walk n' v' (depth + 1)))
+  in
+  walk (fst obj) (snd obj) 0
+
+(* ---- search ---- *)
+
+type search_state = {
+  mutable backtracks : int;
+  limit : int;
+}
+
+exception Found
+
+(* Completeness fallback: the SCOAP-guided backtrace can dead-end on a
+   state where a different frontier would still progress; declaring failure
+   there would make "Untestable" unsound. Branch on any source that can
+   still influence the remaining X logic instead. *)
+let any_free_source t ctx =
+  ignore ctx;
+  let found = ref None in
+  Array.iteri
+    (fun _ (n, _) -> if !found = None && t.gv.(n) = x then found := Some (n, true))
+    t.m.Cmodel.sources;
+  !found
+
+let rec search t ctx s =
+  if detected t ctx then raise Found;
+  let decision =
+    match objective t ctx with
+    | Refuted -> None
+    | Resolve_faulty -> any_free_source t ctx
+    | Assign (n, v) ->
+      if !debug then
+        Format.eprintf "  [bt=%d] objective net=%s v=%b@." s.backtracks
+          (Netlist.Design.net t.m.Cmodel.design n).Netlist.Design.nname v;
+      (match backtrace t (n, v) with
+       | Some d -> Some d
+       | None -> any_free_source t ctx)
+  in
+  (match decision with
+     | None ->
+       if !debug then
+         Format.eprintf "  [bt=%d depth=%d] refuted (site gv=%d)@." s.backtracks
+           (Stack.length t.trail) t.gv.(ctx.site_net);
+       false
+     | Some (src, v) ->
+       let mark = Stack.length t.trail in
+       let try_value v =
+         assign_source t ctx src v;
+         let ok = search t ctx s in
+         if not ok then undo_to t mark;
+         ok
+       in
+       if try_value v then true
+       else begin
+         s.backtracks <- s.backtracks + 1;
+         if s.backtracks > s.limit then raise Exit;
+         try_value (not v)
+       end)
+
+let extract_cube t =
+  let cube = ref [] in
+  Array.iteri
+    (fun k (n, _) -> if t.gv.(n) <> x then cube := (k, t.gv.(n) = 1) :: !cube)
+    t.m.Cmodel.sources;
+  List.rev !cube
+
+(* ---- public driver ---- *)
+
+(* Randomised restarts exploit the heavy-tailed runtime distribution of
+   chronological backtracking: several short searches with different
+   tie-breaks succeed far more often than one long one. *)
+let restarts = 5
+
+let attempt ?(backtrack_limit = 250) t ~keep (f : Fault.fault) =
+  let ctx = make_ctx t.m f in
+  let mark = Stack.length t.trail in
+  let run_once limit =
+    t.stamp <- t.stamp + 1;
+    (* D-nets from a previous kept attempt belong to a dead stamp *)
+    Stack.clear t.d_nets;
+    if ctx.stem_net >= 0 then begin
+      ignore (set_fv t ctx.stem_net (if f.Fault.stuck then 1 else 0));
+      mark_d t ctx.stem_net;
+      imply t ctx ctx.stem_net
+    end;
+    let s = { backtracks = 0; limit } in
+    let outcome =
+      match search t ctx s with
+      | true -> Test (extract_cube t)
+      | false -> Untestable
+      | exception Found -> Test (extract_cube t)
+      | exception Exit -> Abort
+    in
+    (match outcome with
+     | Test _ when keep -> ()
+     | Test _ | Untestable | Abort -> undo_to t mark);
+    outcome
+  in
+  let per_restart = max 16 (backtrack_limit / restarts) in
+  let rec go k =
+    match run_once per_restart with
+    | Abort when k < restarts -> go (k + 1)
+    | r -> r
+  in
+  go 1
+
+let apply_cube t cube =
+  (* a throwaway fault-free context: stem -1, no branch *)
+  let dummy =
+    { fault = { Fault.fid = -1; site = Fault.Stem (-1); stuck = false;
+                status = Fault.Undetected; equiv_to = -1 };
+      stem_net = -1;
+      branch = None;
+      site_net = -1;
+      justify_only = true }
+  in
+  List.for_all
+    (fun (k, v) ->
+      let n, _ = t.m.Cmodel.sources.(k) in
+      if t.gv.(n) = x then begin
+        assign_source t dummy n v;
+        true
+      end
+      else t.gv.(n) = (if v then 1 else 0))
+    cube
+
+let generate ?backtrack_limit t f =
+  reset t;
+  let r = attempt ?backtrack_limit t ~keep:false f in
+  reset t;
+  r
+
+let generate_under ?backtrack_limit t ~base f =
+  reset t;
+  let ok = apply_cube t base in
+  let r =
+    if not ok then Abort
+    else
+      match attempt ?backtrack_limit t ~keep:false f with
+      | Untestable -> Abort
+      | r -> r
+  in
+  reset t;
+  r

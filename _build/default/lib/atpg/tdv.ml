@@ -1,0 +1,7 @@
+let tat ~lmax ~patterns = ((lmax + 1) * patterns) + lmax
+
+let tdv ~chains ~lmax ~patterns = 2 * chains * tat ~lmax ~patterns
+
+let reduction_pct ~before ~after =
+  if before = 0 then 0.0
+  else 100.0 *. (1.0 -. (float_of_int after /. float_of_int before))

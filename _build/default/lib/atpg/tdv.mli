@@ -1,0 +1,13 @@
+(** Test data volume and test application time, equations (1) and (2).
+
+    With [n] scan chains of maximum length [l_max] and [p] patterns:
+    TDV = 2 n ((l_max + 1) p + l_max) bits (stimuli plus responses),
+    TAT = (l_max + 1) p + l_max clock cycles (shift-in overlapped with
+    shift-out, one capture cycle per pattern, final unload). *)
+
+val tdv : chains:int -> lmax:int -> patterns:int -> int
+
+val tat : lmax:int -> patterns:int -> int
+
+val reduction_pct : before:int -> after:int -> float
+(** Percentage decrease, the "dec." columns of Table 1. *)

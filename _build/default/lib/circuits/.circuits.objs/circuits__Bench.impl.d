@@ -1,0 +1,1 @@
+lib/circuits/bench.ml: Profile Synth

@@ -1,0 +1,1 @@
+lib/circuits/iscas.ml: Filename Fun Hashtbl List Netlist Option Printf Stdcell String

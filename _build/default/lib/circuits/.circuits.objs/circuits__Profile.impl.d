@@ -1,0 +1,1 @@
+lib/circuits/profile.ml: Float List

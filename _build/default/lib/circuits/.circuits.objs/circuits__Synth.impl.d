@@ -1,0 +1,1 @@
+lib/circuits/synth.ml: Array Float Hashtbl List Netlist Option Printf Profile Queue Stdcell Util

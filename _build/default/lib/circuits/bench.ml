@@ -1,0 +1,78 @@
+let s38417_profile : Profile.t =
+  { name = "s38417";
+    seed = 0x384170;
+    num_pis = 28;
+    num_pos = 106;
+    num_ffs = 1636;
+    num_gates = 21900;
+    depth_target = 20;
+    texture = Profile.Control;
+    hard_fraction = 0.16;
+    hard_blocks = 16;
+    bus_width = 14;
+    blocks_per_bus = 4;
+    domains = [ { Profile.dname = "clk"; period_ps = 8000.0; ff_share = 1.0 } ] }
+
+let pcore_a_profile : Profile.t =
+  { name = "pcore_a";
+    seed = 0xA11CE;
+    num_pis = 64;
+    num_pos = 96;
+    num_ffs = 3600;
+    num_gates = 29000;
+    depth_target = 18;
+    texture = Profile.Control;
+    hard_fraction = 0.15;
+    hard_blocks = 36;
+    bus_width = 12;
+    blocks_per_bus = 4;
+    domains =
+      [ { Profile.dname = "fast"; period_ps = 15625.0; ff_share = 0.7 };
+        { Profile.dname = "slow"; period_ps = 125000.0; ff_share = 0.3 } ] }
+
+let pcore_b_profile : Profile.t =
+  { name = "pcore_b";
+    seed = 0x26909;
+    num_pis = 96;
+    num_pos = 128;
+    num_ffs = 9993;
+    num_gates = 108000;
+    depth_target = 26;
+    texture = Profile.Datapath;
+    hard_fraction = 0.13;
+    hard_blocks = 100;
+    bus_width = 14;
+    blocks_per_bus = 5;
+    domains = [ { Profile.dname = "clk"; period_ps = 7143.0; ff_share = 1.0 } ] }
+
+let build profile scale =
+  Synth.generate (Profile.scale scale profile)
+
+let s38417_like ?(scale = 1.0) () = build s38417_profile scale
+let pcore_a ?(scale = 1.0) () = build pcore_a_profile scale
+let pcore_b ?(scale = 0.3) () = build pcore_b_profile scale
+
+let tiny ?(seed = 42) ?(ffs = 16) ?(gates = 120) () =
+  Synth.generate
+    { name = "tiny";
+      seed;
+      num_pis = 6;
+      num_pos = 6;
+      num_ffs = ffs;
+      num_gates = gates;
+      depth_target = 8;
+      texture = Profile.Control;
+      hard_fraction = 0.2;
+      hard_blocks = 2;
+      bus_width = 6;
+      blocks_per_bus = 2;
+      domains = [ { Profile.dname = "clk"; period_ps = 4000.0; ff_share = 1.0 } ] }
+
+let default_scales = [ ("s38417", 1.0); ("pcore_a", 1.0); ("pcore_b", 0.3) ]
+
+let by_name name ~scale =
+  match name with
+  | "s38417" -> build s38417_profile scale
+  | "pcore_a" -> build pcore_a_profile scale
+  | "pcore_b" -> build pcore_b_profile scale
+  | _ -> invalid_arg ("Bench.by_name: unknown circuit " ^ name)

@@ -1,0 +1,27 @@
+(** The benchmark circuits of the paper's §4.1, as generator profiles.
+
+    [s38417_like] matches ISCAS'89 s38417's published statistics (28 PIs,
+    106 POs, 1,636 FFs, ~22k gates) mapped to minimum drive strength.
+    [pcore_a] stands in for the Philips digital control core of a wireless
+    IC (two clock domains at 8 and 64 MHz); [pcore_b] for the p26909 24-bit
+    DSP core (9,993 FFs, 32 scan chains, ~119k cells at full size). Both
+    Philips cores are proprietary, so the profiles are synthetic; [pcore_b]
+    defaults to 0.3x the published size to keep the full experiment matrix
+    laptop-runnable (pass [~scale:1.0] to run at paper size). *)
+
+val s38417_profile : Profile.t
+val pcore_a_profile : Profile.t
+val pcore_b_profile : Profile.t
+
+val s38417_like : ?scale:float -> unit -> Netlist.Design.t
+val pcore_a : ?scale:float -> unit -> Netlist.Design.t
+val pcore_b : ?scale:float -> unit -> Netlist.Design.t
+
+val tiny : ?seed:int -> ?ffs:int -> ?gates:int -> unit -> Netlist.Design.t
+(** A small circuit for unit tests (defaults: 16 FFs, 120 gates). *)
+
+val default_scales : (string * float) list
+(** The scale each named circuit runs at by default in the harness. *)
+
+val by_name : string -> scale:float -> Netlist.Design.t
+(** ["s38417" | "pcore_a" | "pcore_b"]; raises [Invalid_argument] otherwise. *)

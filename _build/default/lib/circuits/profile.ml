@@ -1,0 +1,50 @@
+type texture =
+  | Control
+  | Datapath
+
+type domain_spec = {
+  dname : string;
+  period_ps : float;
+  ff_share : float;
+}
+
+type t = {
+  name : string;
+  seed : int;
+  num_pis : int;
+  num_pos : int;
+  num_ffs : int;
+  num_gates : int;
+  depth_target : int;
+  texture : texture;
+  hard_fraction : float;
+  hard_blocks : int;
+  bus_width : int;
+  blocks_per_bus : int;
+  domains : domain_spec list;
+}
+
+let validate p =
+  if p.num_pis < 1 then invalid_arg "Profile: need at least one PI";
+  if p.num_pos < 1 then invalid_arg "Profile: need at least one PO";
+  if p.num_ffs < 0 then invalid_arg "Profile: negative FF count";
+  if p.num_gates < 8 then invalid_arg "Profile: gate budget too small";
+  if p.depth_target < 2 then invalid_arg "Profile: depth target too small";
+  if p.hard_fraction < 0.0 || p.hard_fraction > 0.8 then
+    invalid_arg "Profile: hard_fraction out of range";
+  if p.hard_blocks < 0 then invalid_arg "Profile: negative hard_blocks";
+  if p.hard_blocks > 0 && p.bus_width < 4 then invalid_arg "Profile: bus too narrow";
+  if p.hard_blocks > 0 && p.blocks_per_bus < 1 then
+    invalid_arg "Profile: blocks_per_bus must be positive";
+  if p.domains = [] then invalid_arg "Profile: need at least one clock domain";
+  let total = List.fold_left (fun acc d -> acc +. d.ff_share) 0.0 p.domains in
+  if Float.abs (total -. 1.0) > 1e-6 then invalid_arg "Profile: domain shares must sum to 1"
+
+let scale f p =
+  let s n = max 1 (int_of_float (Float.round (float_of_int n *. f))) in
+  { p with
+    num_pis = s p.num_pis;
+    num_pos = s p.num_pos;
+    num_ffs = s p.num_ffs;
+    num_gates = max 8 (s p.num_gates);
+    hard_blocks = (if p.hard_blocks = 0 then 0 else max 1 (s p.hard_blocks)) }

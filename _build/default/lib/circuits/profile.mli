@@ -1,0 +1,49 @@
+(** Statistical profiles for synthetic benchmark circuits.
+
+    The paper's circuits are either ISCAS'89 s38417 (public, but only the
+    statistics matter for the experiments) or proprietary Philips cores, so
+    this reproduction generates circuits from profiles that match the
+    published statistics; see DESIGN.md §2 for the substitution argument. *)
+
+type texture =
+  | Control   (** NAND/NOR/MUX-heavy random logic, shallow and wide *)
+  | Datapath  (** XOR/AND-heavy arithmetic texture, deeper cones *)
+
+type domain_spec = {
+  dname : string;
+  period_ps : float;
+  ff_share : float;  (** fraction of the circuit's FFs clocked by this domain *)
+}
+
+type t = {
+  name : string;
+  seed : int;
+  num_pis : int;
+  num_pos : int;
+  num_ffs : int;
+  num_gates : int;       (** combinational cell budget *)
+  depth_target : int;    (** desired combinational depth *)
+  texture : texture;
+  hard_fraction : float;
+      (** share of the gate budget spent on the decoder-gated hard cones:
+          these carry the pseudo-random-resistant, mutually conflicting
+          faults that dominate compact pattern counts and that TPI exists
+          to dissolve *)
+  hard_blocks : int;
+      (** number of decoder-gated cones; roughly 1% of the flip-flop count,
+          which is why the paper sees most of the pattern-count gain at 1%
+          test points already *)
+  bus_width : int;      (** decoder bus width (match probability 2^-width) *)
+  blocks_per_bus : int;
+      (** decoders sharing one bus: their activation codes are mutually
+          exclusive, so their tests cannot merge until a control point
+          frees them *)
+  domains : domain_spec list;  (** shares must sum to 1 *)
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on inconsistent profiles. *)
+
+val scale : float -> t -> t
+(** [scale f p] multiplies PI/PO/FF/gate counts by [f] (min 1); used to run
+    the full experiment matrix at laptop size. *)

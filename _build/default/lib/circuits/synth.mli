@@ -1,0 +1,15 @@
+(** Seeded synthetic netlist generation from a {!Profile.t}.
+
+    The generator builds a DAG of mapped standard cells (minimum drive
+    strength everywhere, as the paper maps s38417): primary inputs and
+    flip-flop outputs seed a net pool, combinational gates draw inputs from
+    the pool with a locality bias that develops realistic logic depth, and a
+    configurable share of the budget goes to wide comparators and long
+    AND/OR chains — the random-pattern-resistant structures whose faults
+    make test point insertion worthwhile. Flip-flops are plain DFFs; scan
+    and test points are inserted later by the [scan] and [tpi] passes, as in
+    the paper's flow. *)
+
+val generate : Profile.t -> Netlist.Design.t
+(** Deterministic in [profile.seed]. The result passes
+    [Netlist.Check.assert_clean] and is acyclic. *)

@@ -1,0 +1,55 @@
+(** Public facade of the TPI-layout reproduction.
+
+    One-stop access to the full stack: netlist infrastructure, benchmark
+    circuit generation, test point insertion, scan, ATPG, physical design
+    and STA, plus the Figure-2 pipeline and the paper's experiment matrix.
+    Library clients can either use this module or depend on the individual
+    libraries directly. *)
+
+module Design = Netlist.Design
+module Cmodel = Netlist.Cmodel
+module Stats = Netlist.Stats
+module Check = Netlist.Check
+module Verilog = Netlist.Verilog
+module Library = Stdcell.Library
+module Cell = Stdcell.Cell
+module Bench = Circuits.Bench
+module Profile = Circuits.Profile
+module Synth = Circuits.Synth
+module Scoap = Testability.Scoap
+module Cop = Testability.Cop
+module Tsff = Tpi.Tsff
+module Tpi_select = Tpi.Select
+module Tpi_insert = Tpi.Insert
+module Scan_chains = Scan.Chains
+module Scan_reorder = Scan.Reorder
+module Patgen = Atpg.Patgen
+module Fault = Atpg.Fault
+module Tdv = Atpg.Tdv
+module Floorplan = Layout.Floorplan
+module Place = Layout.Place
+module Cts = Layout.Cts
+module Filler = Layout.Filler
+module Eco = Layout.Eco
+module Drc = Layout.Drc
+module Route = Layout.Route
+module Extract = Layout.Extract
+module Render = Layout.Render
+module Defout = Layout.Defout
+module Sta_analysis = Sta.Analysis
+module Slack = Sta.Slack
+module Liberty = Stdcell.Liberty
+module Iscas = Circuits.Iscas
+module Pipeline = Flow.Pipeline
+module Experiment = Flow.Experiment
+module Report = Flow.Report
+module Lfsr = Lbist.Lfsr
+module Misr = Lbist.Misr
+module Bist = Lbist.Bist
+
+(** Run the complete Figure-2 flow on a named benchmark circuit at the
+    given test point percentage; the fastest way to see everything work. *)
+let quickstart ?(circuit = "s38417") ?(scale = 0.25) ?(tp_percent = 1.0)
+    ?(with_atpg = true) () =
+  let spec = Flow.Experiment.spec_for ~scale circuit in
+  Flow.Experiment.run_one ~with_atpg spec ~tp_pct:(int_of_float tp_percent)

@@ -1,0 +1,1 @@
+lib/flow/experiment.ml: Circuits List Pipeline Scan Sta Tpi

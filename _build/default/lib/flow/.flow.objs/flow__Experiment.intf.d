@@ -1,0 +1,1 @@
+lib/flow/experiment.mli: Pipeline Scan

@@ -1,0 +1,1 @@
+lib/flow/pipeline.ml: Atpg Float Layout List Netlist Scan Sta Tpi

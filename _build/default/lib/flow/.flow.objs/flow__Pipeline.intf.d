@@ -1,0 +1,1 @@
+lib/flow/pipeline.mli: Atpg Layout Netlist Scan Sta Tpi

@@ -1,0 +1,1 @@
+lib/flow/report.ml: Array Atpg Buffer Experiment Layout List Netlist Pipeline Printf Scan Sta String

@@ -1,0 +1,1 @@
+lib/flow/timingfix.ml: Array Layout List Netlist Sta Stdcell

@@ -1,0 +1,1 @@
+lib/flow/timingfix.mli: Layout Sta

@@ -1,0 +1,67 @@
+type spec = {
+  circuit : string;
+  scale : float;
+  utilization : float;
+  chain_config : Scan.Chains.config;
+}
+
+let spec_for ?scale circuit =
+  let scale =
+    match scale with
+    | Some s -> s
+    | None ->
+      (match List.assoc_opt circuit Circuits.Bench.default_scales with
+       | Some s -> s
+       | None -> invalid_arg ("Experiment.spec_for: unknown circuit " ^ circuit))
+  in
+  match circuit with
+  | "s38417" ->
+    { circuit; scale; utilization = 0.97; chain_config = Scan.Chains.Max_length 100 }
+  | "pcore_a" ->
+    { circuit; scale; utilization = 0.97; chain_config = Scan.Chains.Max_length 100 }
+  | "pcore_b" ->
+    { circuit; scale; utilization = 0.50; chain_config = Scan.Chains.Num_chains 32 }
+  | other -> invalid_arg ("Experiment.spec_for: unknown circuit " ^ other)
+
+type row = {
+  spec : spec;
+  tp_pct : int;
+  result : Pipeline.result;
+}
+
+let options_of spec ~with_atpg ~tp_pct =
+  { Pipeline.default_options with
+    Pipeline.tp_percent = float_of_int tp_pct;
+    chain_config = spec.chain_config;
+    utilization = spec.utilization;
+    run_atpg = with_atpg }
+
+let run_one ?(with_atpg = true) spec ~tp_pct =
+  let d = Circuits.Bench.by_name spec.circuit ~scale:spec.scale in
+  let result = Pipeline.run ~options:(options_of spec ~with_atpg ~tp_pct) d in
+  { spec; tp_pct; result }
+
+let sweep ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
+  let spec = spec_for ?scale circuit in
+  List.map (fun tp_pct -> run_one ~with_atpg spec ~tp_pct) tp_levels
+
+(* §5: exclude nets on near-critical paths from TPI. The baseline layout's
+   STA identifies the worst paths per domain; nets within the slack margin
+   of them are off limits for insertion. *)
+let blocked_critical_nets spec ~tp_pct ~slack_margin_ps =
+  let d0 = Circuits.Bench.by_name spec.circuit ~scale:spec.scale in
+  let baseline = Pipeline.run ~options:(options_of spec ~with_atpg:false ~tp_pct:0) d0 in
+  let blocked_names =
+    (* blocked nets must survive into the *fresh* design of the real run:
+       the generator is deterministic, so net ids are reproducible *)
+    Sta.Slack.nets_on_worst_paths baseline.Pipeline.placement baseline.Pipeline.sta
+      ~margin_ps:slack_margin_ps
+  in
+  let d = Circuits.Bench.by_name spec.circuit ~scale:spec.scale in
+  let options =
+    { (options_of spec ~with_atpg:true ~tp_pct) with
+      Pipeline.tpi_config =
+        { Tpi.Select.default_config with Tpi.Select.blocked_nets = blocked_names } }
+  in
+  let result = Pipeline.run ~options d in
+  { spec; tp_pct; result }

@@ -1,0 +1,37 @@
+(** The paper's experimental matrix (§4.1): for each circuit, six layouts —
+    no test points, then 1% to 5% — each generated from scratch through the
+    full flow, with the per-circuit settings of the paper (chain limits,
+    row utilization targets). *)
+
+type spec = {
+  circuit : string;               (** "s38417" | "pcore_a" | "pcore_b" *)
+  scale : float;
+  utilization : float;
+  chain_config : Scan.Chains.config;
+}
+
+val spec_for : ?scale:float -> string -> spec
+(** Paper settings: 100-FF chains and 97% utilization for s38417 and
+    pcore_a; 32 chains and 50% utilization for pcore_b. Default scales come
+    from {!Circuits.Bench.default_scales}. *)
+
+type row = {
+  spec : spec;
+  tp_pct : int;
+  result : Pipeline.result;
+}
+
+val run_one : ?with_atpg:bool -> spec -> tp_pct:int -> row
+
+val sweep :
+  ?with_atpg:bool ->
+  ?tp_levels:int list ->
+  ?scale:float ->
+  string ->
+  row list
+(** Default levels [0;1;2;3;4;5]. *)
+
+val blocked_critical_nets : spec -> tp_pct:int -> slack_margin_ps:float -> row
+(** The §5 ablation: run a baseline layout + STA first, collect nets on
+    paths within [slack_margin_ps] of the critical path, then insert test
+    points with those nets excluded. *)

@@ -1,0 +1,106 @@
+module Design = Netlist.Design
+
+type options = {
+  tp_percent : float;
+  chain_config : Scan.Chains.config;
+  utilization : float;
+  run_atpg : bool;
+  atpg_config : Atpg.Patgen.config;
+  tpi_config : Tpi.Select.config;
+  seed : int;
+}
+
+let default_options =
+  { tp_percent = 0.0;
+    chain_config = Scan.Chains.Max_length 100;
+    utilization = 0.97;
+    run_atpg = true;
+    atpg_config = Atpg.Patgen.default_config;
+    tpi_config = Tpi.Select.default_config;
+    seed = 0x71C0 }
+
+type result = {
+  design : Netlist.Design.t;
+  options : options;
+  tp_count : int;
+  tpi_report : Tpi.Select.report option;
+  chains : Scan.Chains.t;
+  reorder : Scan.Reorder.result;
+  atpg : Atpg.Patgen.outcome option;
+  tdv_bits : int;
+  tat_cycles : int;
+  placement : Layout.Place.t;
+  cts : Layout.Cts.report;
+  filler : Layout.Filler.report;
+  route : Layout.Route.t;
+  rc : Layout.Extract.net_rc array;
+  sta : Sta.Analysis.t;
+  stats : Netlist.Stats.t;
+  drc : Layout.Drc.report;
+}
+
+let run ?(options = default_options) (d : Design.t) =
+  (* --- step 1: TPI and scan insertion --- *)
+  let ffs_before = List.length (Design.ffs d) in
+  let tp_count =
+    int_of_float (Float.round (options.tp_percent *. float_of_int ffs_before /. 100.0))
+  in
+  let tpi_report =
+    if tp_count > 0 then Some (Tpi.Select.run ~config:options.tpi_config d ~count:tp_count)
+    else None
+  in
+  ignore (Scan.Replace.run d);
+  (* --- step 2: floorplanning and placement --- *)
+  let fp = Layout.Floorplan.create ~utilization:options.utilization d in
+  let placement = Layout.Place.run ~seed:options.seed d fp in
+  (* --- step 3: layout-driven scan reordering, then ATPG --- *)
+  let position iid = Layout.Place.position placement iid in
+  let reorder = Scan.Reorder.run d ~config:options.chain_config ~position in
+  let chains = reorder.Scan.Reorder.plan in
+  let atpg =
+    if options.run_atpg then begin
+      let m = Netlist.Cmodel.build d in
+      Some (Atpg.Patgen.run ~config:options.atpg_config m)
+    end
+    else None
+  in
+  let patterns = match atpg with Some o -> Atpg.Patgen.num_patterns o | None -> 0 in
+  let tdv_bits =
+    if patterns = 0 then 0
+    else
+      Atpg.Tdv.tdv ~chains:(Scan.Chains.num_chains chains) ~lmax:chains.Scan.Chains.lmax
+        ~patterns
+  in
+  let tat_cycles =
+    if patterns = 0 then 0 else Atpg.Tdv.tat ~lmax:chains.Scan.Chains.lmax ~patterns
+  in
+  (* --- step 4: ECO (reorder buffers), clock trees, filler, routing --- *)
+  List.iter
+    (fun (iid, near) -> Layout.Eco.add_cell placement ~inst:iid ~near)
+    reorder.Scan.Reorder.new_buffers;
+  let cts = Layout.Cts.run placement in
+  let drc = Layout.Drc.fix_max_cap placement in
+  let filler = Layout.Filler.run placement in
+  let route = Layout.Route.run placement in
+  (* --- step 5: extraction --- *)
+  let rc = Layout.Extract.run placement route in
+  (* --- step 6: static timing analysis --- *)
+  let sta = Sta.Analysis.run placement rc in
+  let stats = Netlist.Stats.compute d in
+  { design = d;
+    options;
+    tp_count;
+    tpi_report;
+    chains;
+    reorder;
+    atpg;
+    tdv_bits;
+    tat_cycles;
+    placement;
+    cts;
+    filler;
+    route;
+    rc;
+    sta;
+    stats;
+    drc }

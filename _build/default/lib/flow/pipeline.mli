@@ -1,0 +1,48 @@
+(** The complete tool flow of Figure 2:
+
+    {ol
+    {- test point insertion and scan insertion on the gate-level netlist;}
+    {- floorplanning and placement;}
+    {- layout-driven scan-chain reordering, then ATPG on the updated
+       netlist;}
+    {- ECO of the reordering's buffers, clock-tree insertion, filler
+       insertion and routing;}
+    {- RC extraction;}
+    {- static timing analysis.}}
+
+    One call = one layout, generated from scratch, as in the paper. *)
+
+type options = {
+  tp_percent : float;              (** test points as % of flip-flops (0-5) *)
+  chain_config : Scan.Chains.config;
+  utilization : float;             (** target row utilization *)
+  run_atpg : bool;                 (** Table 1 needs it; Tables 2-3 do not *)
+  atpg_config : Atpg.Patgen.config;
+  tpi_config : Tpi.Select.config;  (** e.g. blocked nets for the §5 ablation *)
+  seed : int;
+}
+
+val default_options : options
+
+type result = {
+  design : Netlist.Design.t;
+  options : options;
+  tp_count : int;
+  tpi_report : Tpi.Select.report option;  (** None when no points requested *)
+  chains : Scan.Chains.t;
+  reorder : Scan.Reorder.result;
+  atpg : Atpg.Patgen.outcome option;
+  tdv_bits : int;   (** equation (1); 0 without ATPG *)
+  tat_cycles : int; (** equation (2) *)
+  placement : Layout.Place.t;
+  cts : Layout.Cts.report;
+  filler : Layout.Filler.report;
+  route : Layout.Route.t;
+  rc : Layout.Extract.net_rc array;
+  sta : Sta.Analysis.t;
+  stats : Netlist.Stats.t;  (** post-flow netlist statistics *)
+  drc : Layout.Drc.report;  (** max-capacitance fixes applied before routing *)
+}
+
+val run : ?options:options -> Netlist.Design.t -> result
+(** Mutates the design (TPI, scan, buffers, fillers). *)

@@ -1,0 +1,16 @@
+(** Formatting of the paper's tables from experiment rows. *)
+
+val table1 : Experiment.row list -> string
+(** Impact of TPI on test data: #TP, #FF, #chains, l_max, #faults, FC, FE,
+    SAF patterns (and reduction), TDV (and reduction), TAT (and reduction). *)
+
+val table2 : Experiment.row list -> string
+(** Impact on silicon area: #cells, #rows, L_rows, core area (+%), filler
+    area %, chip area (+%), L_wires. *)
+
+val table3 : Experiment.row list -> string
+(** Impact on timing, one line per clock domain: #TP_cp, T_cp (+%), F_max
+    and the equation-(3) decomposition. *)
+
+val summary : Experiment.row list -> string
+(** One-paragraph recap in the style of the paper's abstract claims. *)

@@ -1,0 +1,91 @@
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+
+type report = {
+  rounds : int;
+  upsized_cells : int;
+  t_cp_before : float;
+  t_cp_after : float;
+  cell_area_before : float;
+  cell_area_after : float;
+  sta : Sta.Analysis.t;
+  route : Layout.Route.t;
+  rc : Layout.Extract.net_rc array;
+}
+
+let cell_area d =
+  (Netlist.Stats.compute d).Netlist.Stats.cell_area
+
+let analyse pl =
+  let route = Layout.Route.run pl in
+  let rc = Layout.Extract.run pl route in
+  (route, rc, Sta.Analysis.run pl rc)
+
+let worst_tcp (sta : Sta.Analysis.t) =
+  match sta.Sta.Analysis.worst with
+  | Some p -> p.Sta.Analysis.t_cp
+  | None -> 0.0
+
+(* upsize every upsizable cell on the reported critical paths *)
+let upsize_paths (pl : Layout.Place.t) (sta : Sta.Analysis.t) =
+  let d = pl.Layout.Place.design in
+  let count = ref 0 in
+  Array.iter
+    (fun path ->
+      match path with
+      | None -> ()
+      | Some (p : Sta.Analysis.critical_path) ->
+        List.iter
+          (fun (s : Sta.Analysis.step) ->
+            if s.Sta.Analysis.st_inst >= 0 then begin
+              let i = Design.inst d s.Sta.Analysis.st_inst in
+              match Stdcell.Library.upsize d.Design.lib i.Design.cell with
+              | None -> ()
+              | Some bigger ->
+                let old_width = i.Design.cell.Cell.width in
+                let pins = List.init (Array.length i.Design.cell.Cell.pins) (fun k -> (k, k)) in
+                Design.replace_cell d ~inst:i.Design.id ~cell:bigger ~pin_map:pins;
+                if Layout.Place.is_placed pl i.Design.id then begin
+                  let r = pl.Layout.Place.row.(i.Design.id) in
+                  pl.Layout.Place.row_used.(r) <-
+                    pl.Layout.Place.row_used.(r) +. bigger.Cell.width -. old_width
+                end;
+                incr count
+            end)
+          p.Sta.Analysis.steps)
+    sta.Sta.Analysis.per_domain;
+  !count
+
+let run ?(max_rounds = 3) (pl : Layout.Place.t) =
+  let d = pl.Layout.Place.design in
+  let cell_area_before = cell_area d in
+  let route0, rc0, sta0 = analyse pl in
+  let t_cp_before = worst_tcp sta0 in
+  let best = ref (route0, rc0, sta0) in
+  let upsized = ref 0 and rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < max_rounds do
+    incr rounds;
+    let _, _, sta = !best in
+    let n = upsize_paths pl sta in
+    upsized := !upsized + n;
+    if n = 0 then continue_ := false
+    else begin
+      let route', rc', sta' = analyse pl in
+      if worst_tcp sta' < worst_tcp sta then best := (route', rc', sta')
+      else begin
+        best := (route', rc', sta');
+        continue_ := false
+      end
+    end
+  done;
+  let route, rc, sta = !best in
+  { rounds = !rounds;
+    upsized_cells = !upsized;
+    t_cp_before;
+    t_cp_after = worst_tcp sta;
+    cell_area_before;
+    cell_area_after = cell_area d;
+    sta;
+    route;
+    rc }

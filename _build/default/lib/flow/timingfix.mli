@@ -1,0 +1,22 @@
+(** Timing optimisation after layout — the knob the paper's experiments
+    deliberately leave off (§5: "timing optimisation typically implies the
+    use of cells with larger drive strengths ... at the cost of larger
+    silicon area"). This module implements that loop so the trade-off can
+    be measured: upsize the cells on the worst paths, re-route, re-extract,
+    re-time, repeat. *)
+
+type report = {
+  rounds : int;
+  upsized_cells : int;
+  t_cp_before : float;
+  t_cp_after : float;
+  cell_area_before : float;
+  cell_area_after : float;
+  sta : Sta.Analysis.t;             (** analysis after the final round *)
+  route : Layout.Route.t;
+  rc : Layout.Extract.net_rc array;
+}
+
+val run : ?max_rounds:int -> Layout.Place.t -> report
+(** Default 3 rounds; stops early when the critical path stops improving
+    or nothing on it can be upsized further. *)

@@ -1,0 +1,26 @@
+type t = {
+  x : float;
+  y : float;
+}
+
+let make x y = { x; y }
+
+let zero = { x = 0.0; y = 0.0 }
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+
+let scale k p = { x = k *. p.x; y = k *. p.y }
+
+let midpoint a b = { x = 0.5 *. (a.x +. b.x); y = 0.5 *. (a.y +. b.y) }
+
+let manhattan a b = Float.abs (a.x -. b.x) +. Float.abs (a.y -. b.y)
+
+let euclid a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let equal a b = a.x = b.x && a.y = b.y
+
+let pp ppf p = Format.fprintf ppf "(%.2f, %.2f)" p.x p.y

@@ -1,0 +1,20 @@
+(** Points in layout space. Coordinates are micrometres. *)
+
+type t = {
+  x : float;
+  y : float;
+}
+
+val make : float -> float -> t
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val midpoint : t -> t -> t
+
+val manhattan : t -> t -> float
+(** Rectilinear (L1) distance, the routing metric. *)
+
+val euclid : t -> t -> float
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

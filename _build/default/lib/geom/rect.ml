@@ -1,0 +1,40 @@
+type t = {
+  lx : float;
+  ly : float;
+  ux : float;
+  uy : float;
+}
+
+let make ~lx ~ly ~ux ~uy =
+  if ux < lx || uy < ly then invalid_arg "Rect.make: inverted rectangle";
+  { lx; ly; ux; uy }
+
+let of_size ~lx ~ly ~w ~h = make ~lx ~ly ~ux:(lx +. w) ~uy:(ly +. h)
+
+let width r = r.ux -. r.lx
+
+let height r = r.uy -. r.ly
+
+let area r = width r *. height r
+
+let center r = Point.make (0.5 *. (r.lx +. r.ux)) (0.5 *. (r.ly +. r.uy))
+
+let contains r (p : Point.t) = p.x >= r.lx && p.x <= r.ux && p.y >= r.ly && p.y <= r.uy
+
+let intersects a b = a.lx <= b.ux && b.lx <= a.ux && a.ly <= b.uy && b.ly <= a.uy
+
+let inset r d = make ~lx:(r.lx +. d) ~ly:(r.ly +. d) ~ux:(r.ux -. d) ~uy:(r.uy -. d)
+
+let expand r d = inset r (-.d)
+
+let union a b =
+  { lx = Float.min a.lx b.lx;
+    ly = Float.min a.ly b.ly;
+    ux = Float.max a.ux b.ux;
+    uy = Float.max a.uy b.uy }
+
+let aspect_ratio r = height r /. width r
+
+let half_perimeter r = width r +. height r
+
+let pp ppf r = Format.fprintf ppf "[%.2f %.2f %.2f %.2f]" r.lx r.ly r.ux r.uy

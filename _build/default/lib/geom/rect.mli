@@ -1,0 +1,29 @@
+(** Axis-aligned rectangles, used for floorplan regions, rows and rings. *)
+
+type t = {
+  lx : float;  (** left *)
+  ly : float;  (** bottom *)
+  ux : float;  (** right *)
+  uy : float;  (** top *)
+}
+
+val make : lx:float -> ly:float -> ux:float -> uy:float -> t
+(** Raises [Invalid_argument] if the rectangle is inverted. *)
+
+val of_size : lx:float -> ly:float -> w:float -> h:float -> t
+val width : t -> float
+val height : t -> float
+val area : t -> float
+val center : t -> Point.t
+val contains : t -> Point.t -> bool
+val intersects : t -> t -> bool
+val inset : t -> float -> t
+(** [inset r d] shrinks [r] by [d] on every side. *)
+
+val expand : t -> float -> t
+val union : t -> t -> t
+val aspect_ratio : t -> float
+(** height / width; the paper keeps cores between 0.9 and 1.1. *)
+
+val half_perimeter : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/layout/cts.ml: Array Eco Float Geom List Netlist Place Printf Stdcell

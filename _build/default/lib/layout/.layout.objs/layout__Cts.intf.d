@@ -1,0 +1,1 @@
+lib/layout/cts.mli: Place

@@ -1,0 +1,1 @@
+lib/layout/defout.ml: Array Buffer Float Floorplan Format Fun Geom List Netlist Pinpos Place Stdcell

@@ -1,0 +1,1 @@
+lib/layout/defout.mli: Format Place

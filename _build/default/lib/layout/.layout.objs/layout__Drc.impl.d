@@ -1,0 +1,1 @@
+lib/layout/drc.ml: Array Extract Float Geom List Netlist Place Stdcell

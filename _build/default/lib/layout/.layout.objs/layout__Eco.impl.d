@@ -1,0 +1,1 @@
+lib/layout/eco.ml: Array Float Floorplan Geom Netlist Place Stdcell

@@ -1,0 +1,1 @@
+lib/layout/eco.mli: Geom Place

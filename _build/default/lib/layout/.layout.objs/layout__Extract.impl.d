@@ -1,0 +1,1 @@
+lib/layout/extract.ml: Array Geom List Netlist Place Route Stdcell

@@ -1,0 +1,1 @@
+lib/layout/filler.ml: Array Float Floorplan List Netlist Place Printf Stdcell

@@ -1,0 +1,1 @@
+lib/layout/filler.mli: Place

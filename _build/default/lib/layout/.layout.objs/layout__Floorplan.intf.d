@@ -1,0 +1,1 @@
+lib/layout/floorplan.mli: Geom Netlist

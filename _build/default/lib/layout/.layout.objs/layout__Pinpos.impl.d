@@ -1,0 +1,1 @@
+lib/layout/pinpos.ml: Floorplan Geom Netlist Place Util

@@ -1,0 +1,1 @@
+lib/layout/pinpos.mli: Geom Netlist Place

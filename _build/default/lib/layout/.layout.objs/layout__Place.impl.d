@@ -1,0 +1,1 @@
+lib/layout/place.ml: Array Float Floorplan Fun Geom Hashtbl List Netlist Queue Stdcell Util

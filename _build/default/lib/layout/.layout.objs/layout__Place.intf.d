@@ -1,0 +1,1 @@
+lib/layout/place.mli: Floorplan Geom Netlist

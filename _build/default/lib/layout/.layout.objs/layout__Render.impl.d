@@ -1,0 +1,1 @@
+lib/layout/render.ml: Array Buffer Floorplan Fun Geom List Netlist Place Printf Route Stdcell

@@ -1,0 +1,1 @@
+lib/layout/route.mli: Geom Place

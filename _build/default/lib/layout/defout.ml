@@ -1,0 +1,99 @@
+module Design = Netlist.Design
+module Rect = Geom.Rect
+module Point = Geom.Point
+
+(* DEF uses integer database units; 1000 units per micron is conventional *)
+let dbu = 1000.0
+
+let i um = int_of_float (Float.round (um *. dbu))
+
+let write ppf (pl : Place.t) =
+  let d = pl.Place.design in
+  let fp = pl.Place.fp in
+  let pr fmt = Format.fprintf ppf fmt in
+  pr "VERSION 5.8 ;@.";
+  pr "DIVIDERCHAR \"/\" ;@.";
+  pr "BUSBITCHARS \"[]\" ;@.";
+  pr "DESIGN %s ;@." d.Design.design_name;
+  pr "UNITS DISTANCE MICRONS %d ;@." (int_of_float dbu);
+  let chip = fp.Floorplan.chip in
+  pr "DIEAREA ( %d %d ) ( %d %d ) ;@." (i chip.Rect.lx) (i chip.Rect.ly)
+    (i chip.Rect.ux) (i chip.Rect.uy);
+  Array.iteri
+    (fun k (row : Rect.t) ->
+      pr "ROW core_row_%d CoreSite %d %d %s DO %d BY 1 STEP %d 0 ;@." k
+        (i row.Rect.lx) (i row.Rect.ly)
+        (if k mod 2 = 0 then "N" else "FS")
+        (int_of_float (Rect.width row /. 0.2))
+        (i 0.2))
+    fp.Floorplan.rows;
+  let placed = ref [] and count = ref 0 in
+  Design.iter_insts d (fun inst ->
+      if Place.is_placed pl inst.Design.id then begin
+        incr count;
+        placed := inst :: !placed
+      end);
+  pr "COMPONENTS %d ;@." !count;
+  List.iter
+    (fun (inst : Design.instance) ->
+      let r = pl.Place.row.(inst.Design.id) in
+      pr "  - %s %s + PLACED ( %d %d ) %s ;@." inst.Design.iname
+        inst.Design.cell.Stdcell.Cell.name
+        (i pl.Place.x.(inst.Design.id))
+        (i (Place.y_of_row pl r))
+        (if r mod 2 = 0 then "N" else "FS"))
+    (List.rev !placed);
+  pr "END COMPONENTS@.";
+  let ports = Design.input_ports d @ Design.output_ports d in
+  pr "PINS %d ;@." (List.length ports);
+  List.iter
+    (fun (p : Design.port) ->
+      let pos = Pinpos.port pl p.Design.pid in
+      pr "  - %s + NET %s + DIRECTION %s + PLACED ( %d %d ) N ;@." p.Design.pname
+        (if p.Design.pnet >= 0 then (Design.net d p.Design.pnet).Design.nname else p.Design.pname)
+        (match p.Design.dir with Design.In -> "INPUT" | Design.Out -> "OUTPUT")
+        (i pos.Point.x) (i pos.Point.y))
+    ports;
+  pr "END PINS@.";
+  let net_count = ref 0 in
+  Design.iter_nets d (fun n ->
+      if n.Design.driver <> Design.No_driver || n.Design.sinks <> [] then incr net_count);
+  pr "NETS %d ;@." !net_count;
+  Design.iter_nets d (fun n ->
+      if n.Design.driver <> Design.No_driver || n.Design.sinks <> [] then begin
+        pr "  - %s" n.Design.nname;
+        (match n.Design.driver with
+         | Design.Cell_pin (iid, pin) ->
+           let inst = Design.inst d iid in
+           pr " ( %s %s )" inst.Design.iname
+             inst.Design.cell.Stdcell.Cell.pins.(pin).Stdcell.Pin.name
+         | Design.Port_in pid -> pr " ( PIN %s )" (Design.port d pid).Design.pname
+         | Design.No_driver -> ());
+        List.iter
+          (fun (iid, pin) ->
+            let inst = Design.inst d iid in
+            pr " ( %s %s )" inst.Design.iname
+              inst.Design.cell.Stdcell.Cell.pins.(pin).Stdcell.Pin.name)
+          n.Design.sinks;
+        if n.Design.out_port >= 0 then
+          pr " ( PIN %s )" (Design.port d n.Design.out_port).Design.pname;
+        pr " ;@."
+      end);
+  pr "END NETS@.";
+  pr "END DESIGN@."
+
+let to_string pl =
+  let buf = Buffer.create 65536 in
+  let ppf = Format.formatter_of_buffer buf in
+  write ppf pl;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let write_file path pl =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      write ppf pl;
+      Format.pp_print_flush ppf ())

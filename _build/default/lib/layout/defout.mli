@@ -1,0 +1,9 @@
+(** DEF-style export of a placed (and optionally routed) design: DIEAREA,
+    ROWs, COMPONENTS with placement status, PINS on the core boundary and
+    per-net connectivity. Enough of the DEF dialect that standard viewers
+    and parsers accept it, which makes the layouts this flow produces
+    inspectable outside this repository. *)
+
+val write : Format.formatter -> Place.t -> unit
+val to_string : Place.t -> string
+val write_file : string -> Place.t -> unit

@@ -1,0 +1,80 @@
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+module Point = Geom.Point
+
+type report = {
+  upsized : int;
+  unresolved : int;
+}
+
+let net_load_estimate (pl : Place.t) (n : Design.net) =
+  let d = pl.Place.design in
+  let pins =
+    List.fold_left
+      (fun acc (iid, pin) ->
+        acc +. (Design.inst d iid).Design.cell.Cell.pins.(pin).Stdcell.Pin.cap)
+      0.0 n.Design.sinks
+  in
+  let pts = ref [] in
+  (match n.Design.driver with
+   | Design.Cell_pin (iid, _) when Place.is_placed pl iid ->
+     pts := Place.position pl iid :: !pts
+   | _ -> ());
+  List.iter
+    (fun (iid, _) -> if Place.is_placed pl iid then pts := Place.position pl iid :: !pts)
+    n.Design.sinks;
+  let wire =
+    match !pts with
+    | [] | [ _ ] -> 0.0
+    | first :: rest ->
+      let lx = ref first.Point.x and ux = ref first.Point.x in
+      let ly = ref first.Point.y and uy = ref first.Point.y in
+      List.iter
+        (fun (p : Point.t) ->
+          lx := Float.min !lx p.Point.x;
+          ux := Float.max !ux p.Point.x;
+          ly := Float.min !ly p.Point.y;
+          uy := Float.max !uy p.Point.y)
+        rest;
+      !ux -. !lx +. !uy -. !ly
+  in
+  pins +. (Extract.c_per_um *. wire)
+
+(* the binding electrical limit is max transition, not raw max cap: keep
+   the estimated load in the part of the table where the output slew stays
+   reasonable (about a third of the characterised range) *)
+let max_load_of (cell : Cell.t) =
+  Array.fold_left
+    (fun acc (a : Cell.arc) -> Float.min acc (0.35 *. Stdcell.Lut.max_load a.Cell.delay))
+    infinity cell.Cell.arcs
+
+let fix_max_cap (pl : Place.t) =
+  let d = pl.Place.design in
+  let upsized = ref 0 and unresolved = ref 0 in
+  Design.iter_nets d (fun n ->
+      match n.Design.driver with
+      | Design.Cell_pin (iid, _) ->
+        let load = net_load_estimate pl n in
+        let rec fix guard =
+          let i = Design.inst d iid in
+          let cell = i.Design.cell in
+          if guard > 4 || Array.length cell.Cell.arcs = 0 then ()
+          else if load > max_load_of cell then begin
+            match Stdcell.Library.upsize d.Design.lib cell with
+            | None -> incr unresolved
+            | Some bigger ->
+              let old_width = cell.Cell.width in
+              let pin_map = List.init (Array.length cell.Cell.pins) (fun k -> (k, k)) in
+              Design.replace_cell d ~inst:iid ~cell:bigger ~pin_map;
+              if Place.is_placed pl iid then begin
+                let r = pl.Place.row.(iid) in
+                pl.Place.row_used.(r) <-
+                  pl.Place.row_used.(r) +. bigger.Cell.width -. old_width
+              end;
+              incr upsized;
+              fix (guard + 1)
+          end
+        in
+        fix 0
+      | Design.Port_in _ | Design.No_driver -> ());
+  { upsized = !upsized; unresolved = !unresolved }

@@ -1,0 +1,16 @@
+(** Electrical DRC fixing: drivers whose estimated output load exceeds the
+    library's characterised maximum are upsized to the next drive strength.
+    This is mandatory max-capacitance cleanup, not timing optimisation —
+    the paper's flow optimises for area only but still has to produce
+    electrically legal nets (its remaining "slow nodes" are the cases where
+    even the largest drive is not enough; the same happens here). *)
+
+type report = {
+  upsized : int;
+  unresolved : int;  (** still over the limit at the largest drive *)
+}
+
+val fix_max_cap : Place.t -> report
+(** Estimates each net's load as half-perimeter wire plus pin caps and
+    upsizes drivers in place (cell widths change, row occupancy is
+    updated). Run after placement, before routing. *)

@@ -1,0 +1,37 @@
+module Design = Netlist.Design
+module Point = Geom.Point
+module Rect = Geom.Rect
+
+let add_cell (pl : Place.t) ~inst ~near =
+  Place.ensure_capacity pl (Design.num_insts pl.Place.design);
+  let i = Design.inst pl.Place.design inst in
+  let w = i.Design.cell.Stdcell.Cell.width in
+  let fp = pl.Place.fp in
+  let nrows = Floorplan.num_rows fp in
+  let home = Floorplan.row_of_y fp near.Point.y in
+  (* search outward for a row with room; when every row is packed (tiny
+     cores at high utilization), overfill the freest row — the detailed
+     placer would shuffle neighbours to make the site legal *)
+  let rec find delta =
+    if delta > nrows then begin
+      let best = ref 0 in
+      for r = 1 to nrows - 1 do
+        if pl.Place.row_used.(r) < pl.Place.row_used.(!best) then best := r
+      done;
+      !best
+    end
+    else begin
+      let try_row r =
+        r >= 0 && r < nrows && pl.Place.row_used.(r) +. w <= fp.Floorplan.row_length
+      in
+      if try_row (home + delta) then home + delta
+      else if try_row (home - delta) then home - delta
+      else find (delta + 1)
+    end
+  in
+  let r = find 0 in
+  let lx = fp.Floorplan.core.Rect.lx in
+  let x = Float.max lx (Float.min (near.Point.x -. (w /. 2.0)) (lx +. fp.Floorplan.row_length -. w)) in
+  pl.Place.x.(inst) <- x;
+  pl.Place.row.(inst) <- r;
+  pl.Place.row_used.(r) <- pl.Place.row_used.(r) +. w

@@ -1,0 +1,7 @@
+(** ECO placement (step 4): cells created after global placement — clock
+    buffers, scan-enable buffers — are legalized into the nearest row with
+    available capacity, without disturbing the placed cells. *)
+
+val add_cell : Place.t -> inst:int -> near:Geom.Point.t -> unit
+(** Raises [Failure] if no row can absorb the cell (never happens below
+    ~99.9% utilization). *)

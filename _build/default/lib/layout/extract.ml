@@ -1,0 +1,107 @@
+module Design = Netlist.Design
+module Point = Geom.Point
+
+type sink_rc = {
+  s_inst : int;
+  s_pin : int;
+  elmore_ps : float;
+}
+
+type net_rc = {
+  wire_cap_ff : float;
+  pin_cap_ff : float;
+  total_cap_ff : float;
+  length_um : float;
+  sink_delays : sink_rc list;
+}
+
+let r_per_um = 0.2
+let c_per_um = 0.12
+let output_port_load_ff = 5.0
+
+let pin_cap (d : Design.t) iid pin =
+  if iid < 0 then output_port_load_ff
+  else begin
+    let cell = (Design.inst d iid).Design.cell in
+    cell.Stdcell.Cell.pins.(pin).Stdcell.Pin.cap
+  end
+
+let empty_rc d (n : Design.net) =
+  let pin_cap_ff =
+    List.fold_left (fun acc (iid, pin) -> acc +. pin_cap d iid pin) 0.0 n.Design.sinks
+    +. (if n.Design.out_port >= 0 then output_port_load_ff else 0.0)
+  in
+  { wire_cap_ff = 0.0;
+    pin_cap_ff;
+    total_cap_ff = pin_cap_ff;
+    length_um = 0.0;
+    sink_delays = [] }
+
+let run (pl : Place.t) (rt : Route.t) =
+  let d = pl.Place.design in
+  Array.init (Design.num_nets d) (fun nid ->
+      let n = Design.net d nid in
+      match rt.Route.routes.(nid) with
+      | None -> empty_rc d n
+      | Some route ->
+        let terms = route.Route.terminals in
+        let k = Array.length terms in
+        let parent = route.Route.parent in
+        let children = Array.make k [] in
+        Array.iteri (fun v p -> if p >= 0 then children.(p) <- v :: children.(p)) parent;
+        let edge_len = Array.make k 0.0 in
+        Array.iteri
+          (fun v p ->
+            if p >= 0 then
+              edge_len.(v) <- Point.manhattan terms.(v).Route.t_point terms.(p).Route.t_point)
+          parent;
+        (* subtree capacitance (wire + pins), computed leaves-first *)
+        let subtree_cap = Array.make k 0.0 in
+        let rec cap_of v =
+          let own =
+            if v = 0 then 0.0 (* the driver terminal has no input pin cap *)
+            else pin_cap d terms.(v).Route.t_inst terms.(v).Route.t_pin
+          in
+          let c =
+            List.fold_left
+              (fun acc ch -> acc +. cap_of ch +. (c_per_um *. edge_len.(ch)))
+              own children.(v)
+          in
+          subtree_cap.(v) <- c;
+          c
+        in
+        ignore (cap_of 0);
+        (* Elmore from the driver: R(ohm) * C(fF) = 1e-3 ps *)
+        let delay = Array.make k 0.0 in
+        let rec walk v =
+          List.iter
+            (fun ch ->
+              let r = r_per_um *. edge_len.(ch) in
+              let c = subtree_cap.(ch) +. (c_per_um *. edge_len.(ch) /. 2.0) in
+              delay.(ch) <- delay.(v) +. (r *. c *. 1e-3);
+              walk ch)
+            children.(v)
+        in
+        walk 0;
+        let wire_cap_ff = c_per_um *. route.Route.length in
+        let pin_cap_ff =
+          List.fold_left (fun acc (iid, pin) -> acc +. pin_cap d iid pin) 0.0 n.Design.sinks
+          +. (if n.Design.out_port >= 0 then output_port_load_ff else 0.0)
+        in
+        let sink_delays =
+          List.filteri (fun v _ -> v > 0) (Array.to_list (Array.mapi (fun v t -> (v, t)) terms))
+          |> List.map (fun (v, (t : Route.terminal)) ->
+                 { s_inst = t.Route.t_inst; s_pin = t.Route.t_pin; elmore_ps = delay.(v) })
+        in
+        { wire_cap_ff;
+          pin_cap_ff;
+          total_cap_ff = wire_cap_ff +. pin_cap_ff;
+          length_um = route.Route.length;
+          sink_delays })
+
+let sink_elmore rc ~inst ~pin =
+  let rec find = function
+    | [] -> 0.0
+    | s :: rest -> if s.s_inst = inst && s.s_pin = pin then s.elmore_ps else find rest
+  in
+  find rc.sink_delays

@@ -1,0 +1,36 @@
+module Design = Netlist.Design
+
+type report = {
+  cells_added : int;
+  filler_area : float;
+  filler_area_pct : float;
+}
+
+let run (pl : Place.t) =
+  let d = pl.Place.design in
+  let fillers = Stdcell.Library.fillers d.Design.lib in
+  let smallest =
+    List.fold_left
+      (fun acc (c : Stdcell.Cell.t) -> Float.min acc c.Stdcell.Cell.width)
+      infinity fillers
+  in
+  let added = ref 0 and area = ref 0.0 in
+  Array.iteri
+    (fun r used ->
+      let free = ref (pl.Place.fp.Floorplan.row_length -. used) in
+      List.iter
+        (fun (cell : Stdcell.Cell.t) ->
+          while !free >= cell.Stdcell.Cell.width -. 1e-9 do
+            let name = Printf.sprintf "fill_r%d_%d" r !added in
+            ignore (Design.add_instance d ~name ~cell);
+            incr added;
+            free := !free -. cell.Stdcell.Cell.width;
+            area := !area +. Stdcell.Cell.area cell
+          done)
+        fillers;
+      ignore smallest)
+    pl.Place.row_used;
+  let core = Floorplan.core_area pl.Place.fp in
+  { cells_added = !added;
+    filler_area = !area;
+    filler_area_pct = (if core > 0.0 then 100.0 *. !area /. core else 0.0) }

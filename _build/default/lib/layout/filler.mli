@@ -1,0 +1,12 @@
+(** Filler insertion (step 4): empty row space is packed with filler cells
+    so the power/ground strips at the row edges stay continuous. *)
+
+type report = {
+  cells_added : int;
+  filler_area : float;     (** um^2 *)
+  filler_area_pct : float; (** of the core area — Table 2's "filler cells area" *)
+}
+
+val run : Place.t -> report
+(** Adds filler instances to the design (they have no pins and are ignored
+    by every netlist analysis). *)

@@ -1,0 +1,73 @@
+module Rect = Geom.Rect
+
+type ring = {
+  ring_name : string;
+  outer : Rect.t;
+  width : float;
+}
+
+type t = {
+  core : Rect.t;
+  chip : Rect.t;
+  rows : Rect.t array;
+  row_length : float;
+  target_utilization : float;
+  rings : ring list;
+}
+
+let ground_ring_width = 4.0
+let power_ring_width = 4.0
+let io_ring_width = 25.0
+let ring_gap = 2.0
+
+let create ?(utilization = 0.97) (d : Netlist.Design.t) =
+  if utilization <= 0.0 || utilization > 1.0 then invalid_arg "Floorplan.create: utilization";
+  let cell_area = ref 0.0 in
+  Netlist.Design.iter_insts d (fun i ->
+      if i.Netlist.Design.cell.Stdcell.Cell.kind <> Stdcell.Cell.Filler then
+        cell_area := !cell_area +. Stdcell.Cell.area i.Netlist.Design.cell);
+  let rh = Stdcell.Library.row_height in
+  let core_area = !cell_area /. utilization in
+  let side = sqrt core_area in
+  let n_rows = max 1 (int_of_float (Float.round (side /. rh))) in
+  let row_length = core_area /. (float_of_int n_rows *. rh) in
+  let core = Rect.of_size ~lx:0.0 ~ly:0.0 ~w:row_length ~h:(float_of_int n_rows *. rh) in
+  let rows =
+    Array.init n_rows (fun k ->
+        Rect.of_size ~lx:core.Rect.lx ~ly:(core.Rect.ly +. (float_of_int k *. rh))
+          ~w:row_length ~h:rh)
+  in
+  (* the chip is forced square: take the larger core dimension *)
+  let core_side = Float.max (Rect.width core) (Rect.height core) in
+  let margin = ring_gap +. ground_ring_width +. ring_gap +. power_ring_width +. ring_gap
+               +. io_ring_width in
+  let cx = Rect.center core in
+  let half = (core_side /. 2.0) +. margin in
+  let chip =
+    Rect.make ~lx:(cx.Geom.Point.x -. half) ~ly:(cx.Geom.Point.y -. half)
+      ~ux:(cx.Geom.Point.x +. half) ~uy:(cx.Geom.Point.y +. half)
+  in
+  let ring name inset_from_chip width =
+    { ring_name = name; outer = Rect.inset chip inset_from_chip; width }
+  in
+  let rings =
+    [ ring "ground" (io_ring_width +. ring_gap +. power_ring_width +. ring_gap) ground_ring_width;
+      ring "power" (io_ring_width +. ring_gap) power_ring_width;
+      ring "io" 0.0 io_ring_width ]
+  in
+  { core; chip; rows; row_length; target_utilization = utilization; rings }
+
+let num_rows t = Array.length t.rows
+
+let total_row_length t = float_of_int (num_rows t) *. t.row_length
+
+let core_area t = Rect.area t.core
+
+let chip_area t = Rect.area t.chip
+
+let aspect_ratio t = Rect.aspect_ratio t.core
+
+let row_of_y t y =
+  let rh = Stdcell.Library.row_height in
+  let k = int_of_float ((y -. t.core.Rect.ly) /. rh) in
+  max 0 (min (num_rows t - 1) k)

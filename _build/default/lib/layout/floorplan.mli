@@ -1,0 +1,36 @@
+(** Floorplanning (step 2, Figure 3a).
+
+    A square core of abutted standard-cell rows sized for a target row
+    utilization, surrounded by ground, power and IO rings. Rows share
+    power/ground strips with their neighbours (cells are placed with
+    alternating orientation), so row pitch equals row height. The chip
+    outline is forced square even when the core drifts slightly
+    rectangular, exactly as in the paper's §4.3. *)
+
+type ring = {
+  ring_name : string;
+  outer : Geom.Rect.t;
+  width : float;
+}
+
+type t = {
+  core : Geom.Rect.t;
+  chip : Geom.Rect.t;
+  rows : Geom.Rect.t array;   (** bottom row first *)
+  row_length : float;         (** um *)
+  target_utilization : float;
+  rings : ring list;          (** innermost first: ground, power, IO *)
+}
+
+val create : ?utilization:float -> Netlist.Design.t -> t
+(** Sizes the floorplan from the design's total cell area; default
+    utilization 0.97 (the paper uses 97% for s38417 and the control core,
+    50% for the DSP core). *)
+
+val num_rows : t -> int
+val total_row_length : t -> float
+val core_area : t -> float
+val chip_area : t -> float
+val aspect_ratio : t -> float
+val row_of_y : t -> float -> int
+(** Index of the row containing (or nearest to) a y coordinate. *)

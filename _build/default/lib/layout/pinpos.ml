@@ -1,0 +1,24 @@
+module Design = Netlist.Design
+module Point = Geom.Point
+module Rect = Geom.Rect
+
+let inst_pin pl iid = Place.position pl iid
+
+(* ports are distributed around the core boundary, in port-id order *)
+let port (pl : Place.t) pid =
+  let core = pl.Place.fp.Floorplan.core in
+  let num_ports = Util.Vec.length pl.Place.design.Design.ports in
+  let perimeter = 2.0 *. (Rect.width core +. Rect.height core) in
+  let s = perimeter *. float_of_int pid /. float_of_int (max 1 num_ports) in
+  let w = Rect.width core and h = Rect.height core in
+  if s < w then Point.make (core.Rect.lx +. s) core.Rect.ly
+  else if s < w +. h then Point.make core.Rect.ux (core.Rect.ly +. (s -. w))
+  else if s < (2.0 *. w) +. h then Point.make (core.Rect.ux -. (s -. w -. h)) core.Rect.uy
+  else Point.make core.Rect.lx (core.Rect.uy -. (s -. (2.0 *. w) -. h))
+
+let of_driver pl (n : Design.net) =
+  match n.Design.driver with
+  | Design.Cell_pin (iid, _) ->
+    if Place.is_placed pl iid then Some (inst_pin pl iid) else None
+  | Design.Port_in pid -> Some (port pl pid)
+  | Design.No_driver -> None

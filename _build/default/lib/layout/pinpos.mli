@@ -1,0 +1,11 @@
+(** Physical positions of connection points: instance pins sit at the cell
+    centre (adequate at this abstraction level), ports are spread around the
+    core boundary in id order, as pad-ring connections. *)
+
+val inst_pin : Place.t -> int -> Geom.Point.t
+(** Position of any pin of a placed instance. *)
+
+val port : Place.t -> int -> Geom.Point.t
+
+val of_driver : Place.t -> Netlist.Design.net -> Geom.Point.t option
+(** Position of whatever drives the net, if placeable. *)

@@ -1,0 +1,1 @@
+lib/lbist/bist.ml: Array Atpg Int64 Lfsr List Misr Netlist

@@ -1,0 +1,1 @@
+lib/lbist/bist.mli: Atpg Netlist

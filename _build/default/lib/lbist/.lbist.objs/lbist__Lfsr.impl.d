@@ -1,0 +1,1 @@
+lib/lbist/lfsr.ml: Int64 List

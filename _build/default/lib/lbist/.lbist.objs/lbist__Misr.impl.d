@@ -1,0 +1,1 @@
+lib/lbist/misr.ml: Int64 Lfsr

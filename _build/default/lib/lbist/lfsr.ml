@@ -1,0 +1,53 @@
+type t = {
+  w : int;
+  poly : int64;          (* tap mask *)
+  mutable s : int64;
+}
+
+(* primitive polynomials (Galois form) for the common widths *)
+let default_taps = function
+  | 16 -> [ 16; 14; 13; 11 ]
+  | 24 -> [ 24; 23; 22; 17 ]
+  | 32 -> [ 32; 22; 2; 1 ]
+  | w -> [ w; w - 1 ] (* not necessarily maximal, but well defined *)
+
+let mask_of_taps w taps =
+  List.fold_left
+    (fun acc tap ->
+      if tap < 1 || tap > w then invalid_arg "Lfsr.create: tap out of range"
+      else Int64.logor acc (Int64.shift_left 1L (tap - 1)))
+    0L taps
+
+let create ?taps ?(seed = 0x1L) ~width () =
+  if width < 2 || width > 64 then invalid_arg "Lfsr.create: width";
+  let taps = match taps with Some t -> t | None -> default_taps width in
+  let wmask =
+    if width = 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
+  in
+  let s = Int64.logand seed wmask in
+  { w = width; poly = mask_of_taps width taps; s = (if s = 0L then 1L else s) }
+
+let width t = t.w
+
+let state t = t.s
+
+(* Galois form: shift right, and when a 1 falls out, xor the tap mask in *)
+let step t =
+  let out = Int64.logand t.s 1L = 1L in
+  let s' = Int64.shift_right_logical t.s 1 in
+  t.s <- (if out then Int64.logxor s' t.poly else s');
+  out
+
+let next_word t =
+  let acc = ref 0L in
+  for bit = 0 to 63 do
+    if step t then acc := Int64.logor !acc (Int64.shift_left 1L bit)
+  done;
+  !acc
+
+let period_probe t n =
+  let s0 = t.s in
+  let rec go k = if k = 0 then false else begin ignore (step t); t.s = s0 || go (k - 1) end in
+  let hit = go n in
+  t.s <- s0;
+  hit

@@ -1,0 +1,25 @@
+(** Linear-feedback shift registers: the on-chip pseudo-random stimulus
+    generators of logic BIST (paper §2). Fibonacci form with a programmable
+    feedback polynomial; the default taps give maximal-length sequences. *)
+
+type t
+
+val create : ?taps:int list -> ?seed:int64 -> width:int -> unit -> t
+(** [width] in [2, 64]. [taps] are polynomial exponents (the implicit x^0
+    is always included); defaults to a primitive polynomial for widths
+    16/24/32, else a reasonable fallback. A zero seed is replaced by 1
+    (the all-zero state is a fixed point). *)
+
+val width : t -> int
+
+val state : t -> int64
+
+val step : t -> bool
+(** Advance one cycle; returns the bit shifted out. *)
+
+val next_word : t -> int64
+(** 64 successive output bits, LSB first: one parallel-pattern word. *)
+
+val period_probe : t -> int -> bool
+(** [period_probe t n] returns true if the register returns to its initial
+    state within [n] steps (test helper; maximal LFSRs should not). *)

@@ -1,0 +1,18 @@
+type t = {
+  lfsr : Lfsr.t;
+  mutable sig_ : int64;
+}
+
+let create ?taps ~width () = { lfsr = Lfsr.create ?taps ~width (); sig_ = 0L }
+
+let rotl1 x =
+  Int64.logor (Int64.shift_left x 1) (Int64.shift_right_logical x 63)
+
+let compact t word =
+  (* shift the signature through the LFSR dynamics, then inject the word *)
+  ignore (Lfsr.step t.lfsr);
+  t.sig_ <- Int64.logxor (rotl1 t.sig_) (Int64.logxor word (Lfsr.state t.lfsr))
+
+let signature t = t.sig_
+
+let reset t = t.sig_ <- 0L

@@ -1,0 +1,12 @@
+(** Multiple-input signature register: the response compactor of logic
+    BIST. Responses are XORed into a shifting LFSR state; equal signatures
+    mean (with aliasing probability ~2^-width) equal response streams. *)
+
+type t
+
+val create : ?taps:int list -> width:int -> unit -> t
+val compact : t -> int64 -> unit
+(** Fold one response word into the signature. *)
+
+val signature : t -> int64
+val reset : t -> unit

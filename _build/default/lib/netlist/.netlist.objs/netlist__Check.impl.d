@@ -1,0 +1,1 @@
+lib/netlist/check.ml: Array Buffer Design Format List Stdcell

@@ -1,0 +1,1 @@
+lib/netlist/cmodel.ml: Array Design Hashtbl Levelize List Stdcell

@@ -1,0 +1,1 @@
+lib/netlist/cmodel.mli: Design Stdcell

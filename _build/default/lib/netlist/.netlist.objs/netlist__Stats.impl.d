@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Array Design Format Hashtbl Levelize List Option Stdcell

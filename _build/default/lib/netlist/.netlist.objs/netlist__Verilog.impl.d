@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Design Format Fun Hashtbl List Printf Stdcell String

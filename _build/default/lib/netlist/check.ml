@@ -1,0 +1,115 @@
+type violation =
+  | Undriven_net of int
+  | Floating_input of int * int
+  | Dangling_output of int
+  | Unbound_port of int
+  | Inconsistent_conn of int * int
+  | Ff_without_domain of int
+  | Ff_clock_mismatch of int
+
+let pp_violation (d : Design.t) ppf = function
+  | Undriven_net n -> Format.fprintf ppf "undriven net %s" (Design.net d n).nname
+  | Floating_input (i, p) ->
+    Format.fprintf ppf "floating input pin %d of %s" p (Design.inst d i).iname
+  | Dangling_output i ->
+    Format.fprintf ppf "dangling output of %s" (Design.inst d i).iname
+  | Unbound_port p -> Format.fprintf ppf "unbound port %s" (Design.port d p).pname
+  | Inconsistent_conn (i, p) ->
+    Format.fprintf ppf "inconsistent connection at pin %d of %s" p (Design.inst d i).iname
+  | Ff_without_domain i ->
+    Format.fprintf ppf "flip-flop %s has no clock domain" (Design.inst d i).iname
+  | Ff_clock_mismatch i ->
+    Format.fprintf ppf "flip-flop %s clocked off its domain's net" (Design.inst d i).iname
+
+let run (d : Design.t) =
+  let out = ref [] in
+  let add v = out := v :: !out in
+  Design.iter_nets d (fun n ->
+      if n.driver = Design.No_driver && n.sinks <> [] then add (Undriven_net n.nid));
+  Design.iter_insts d (fun i ->
+      let cell = i.cell in
+      if cell.Stdcell.Cell.kind <> Stdcell.Cell.Filler then begin
+        Array.iteri
+          (fun pin nid ->
+            let p = cell.Stdcell.Cell.pins.(pin) in
+            if Stdcell.Pin.is_input p then begin
+              if nid < 0 then add (Floating_input (i.id, pin))
+              else begin
+                let n = Design.net d nid in
+                if not (List.mem (i.id, pin) n.sinks) then add (Inconsistent_conn (i.id, pin))
+              end
+            end
+            else if nid >= 0 then begin
+              let n = Design.net d nid in
+              match n.driver with
+              | Design.Cell_pin (src, sp) when src = i.id && sp = pin -> ()
+              | _ -> add (Inconsistent_conn (i.id, pin))
+            end)
+          i.conns;
+        (match Stdcell.Cell.output_pin cell with
+         | out_pin ->
+           let nid = i.conns.(out_pin) in
+           let is_tie =
+             match cell.Stdcell.Cell.kind with
+             | Stdcell.Cell.Tiehi | Stdcell.Cell.Tielo -> true
+             | _ -> false
+           in
+           (* tie cells may legitimately go sinkless once scan stitching
+              reclaims the parked TI pins *)
+           if not is_tie then begin
+             if nid < 0 then add (Dangling_output i.id)
+             else begin
+               let n = Design.net d nid in
+               if n.sinks = [] && n.out_port < 0 then add (Dangling_output i.id)
+             end
+           end
+         | exception Invalid_argument _ -> ());
+        if Design.is_ff i then begin
+          if i.domain < 0 || i.domain >= Array.length d.domains then
+            add (Ff_without_domain i.id)
+          else begin
+            (* the clock may be distributed through a buffer tree: walk
+               drivers back through buffers to the domain's root net *)
+            let rec clock_root nid depth =
+              if depth > 64 || nid < 0 then nid
+              else
+                match (Design.net d nid).driver with
+                | Design.Cell_pin (src, _) ->
+                  let s = Design.inst d src in
+                  (match s.cell.Stdcell.Cell.kind with
+                   | Stdcell.Cell.Clkbuf | Stdcell.Cell.Buf | Stdcell.Cell.Inv ->
+                     clock_root s.conns.(0) (depth + 1)
+                   | _ -> nid)
+                | Design.Port_in _ | Design.No_driver -> nid
+            in
+            match Stdcell.Cell.clock_pin cell with
+            | Some ck ->
+              if clock_root i.conns.(ck) 0 <> d.domains.(i.domain).clock_net then
+                add (Ff_clock_mismatch i.id)
+            | None -> add (Ff_clock_mismatch i.id)
+          end
+        end
+      end);
+  Design.iter_insts d (fun _ -> ());
+  let ports = Design.input_ports d @ Design.output_ports d in
+  List.iter (fun (p : Design.port) -> if p.pnet < 0 then add (Unbound_port p.pid)) ports;
+  List.rev !out
+
+let assert_clean ?(allow_dangling = false) d =
+  let vs = run d in
+  let vs =
+    if allow_dangling then
+      List.filter (function Dangling_output _ -> false | _ -> true) vs
+    else vs
+  in
+  match vs with
+  | [] -> ()
+  | vs ->
+    let buf = Buffer.create 256 in
+    let ppf = Format.formatter_of_buffer buf in
+    Format.fprintf ppf "design %s: %d check violations:@." d.design_name (List.length vs);
+    List.iteri
+      (fun k v -> if k < 20 then Format.fprintf ppf "  %a@." (pp_violation d) v)
+      vs;
+    Format.pp_print_flush ppf ();
+    failwith (Buffer.contents buf)

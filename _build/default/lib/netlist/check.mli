@@ -1,0 +1,21 @@
+(** Netlist design-rule checks, run after every transformation in tests. *)
+
+type violation =
+  | Undriven_net of int          (** net with sinks but no driver *)
+  | Floating_input of int * int  (** (instance, pin) input left unconnected *)
+  | Dangling_output of int       (** instance output drives nothing *)
+  | Unbound_port of int
+  | Inconsistent_conn of int * int
+      (** instance pin points at a net that does not list it back *)
+  | Ff_without_domain of int
+  | Ff_clock_mismatch of int
+      (** FF clock pin not on its domain's clock net *)
+
+val pp_violation : Design.t -> Format.formatter -> violation -> unit
+
+val run : Design.t -> violation list
+(** Empty list = clean design. Dangling outputs are reported but tolerated
+    by the flow (tie cells and spare logic can legitimately dangle). *)
+
+val assert_clean : ?allow_dangling:bool -> Design.t -> unit
+(** Raises [Failure] with a rendered report if violations remain. *)

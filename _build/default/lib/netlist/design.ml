@@ -1,0 +1,190 @@
+module Vec = Util.Vec
+
+type port_dir =
+  | In
+  | Out
+
+type driver =
+  | No_driver
+  | Port_in of int
+  | Cell_pin of int * int
+
+type instance = {
+  id : int;
+  mutable iname : string;
+  mutable cell : Stdcell.Cell.t;
+  mutable conns : int array;
+  mutable domain : int;
+}
+
+type net = {
+  nid : int;
+  mutable nname : string;
+  mutable driver : driver;
+  mutable sinks : (int * int) list;
+  mutable out_port : int;
+}
+
+type port = {
+  pid : int;
+  pname : string;
+  dir : port_dir;
+  mutable pnet : int;
+}
+
+type domain = {
+  dom_name : string;
+  period_ps : float;
+  mutable clock_net : int;
+}
+
+type t = {
+  design_name : string;
+  lib : Stdcell.Library.t;
+  insts : instance Vec.t;
+  nets : net Vec.t;
+  ports : port Vec.t;
+  mutable domains : domain array;
+}
+
+let create ?(lib = Stdcell.Library.default) design_name =
+  { design_name;
+    lib;
+    insts = Vec.create ();
+    nets = Vec.create ();
+    ports = Vec.create ();
+    domains = [||] }
+
+let add_net t nname =
+  let nid = Vec.length t.nets in
+  let n = { nid; nname; driver = No_driver; sinks = []; out_port = -1 } in
+  ignore (Vec.push t.nets n);
+  n
+
+let add_port t pname dir =
+  let pid = Vec.length t.ports in
+  let n = add_net t pname in
+  let p = { pid; pname; dir; pnet = n.nid } in
+  ignore (Vec.push t.ports p);
+  (match dir with
+   | In -> n.driver <- Port_in pid
+   | Out -> n.out_port <- pid);
+  p
+
+let add_instance t ~name ~cell =
+  let id = Vec.length t.insts in
+  let npins = Array.length cell.Stdcell.Cell.pins in
+  let i = { id; iname = name; cell; conns = Array.make npins (-1); domain = -1 } in
+  ignore (Vec.push t.insts i);
+  i
+
+let add_domain t ~name ~period_ps ~clock_net =
+  let d = { dom_name = name; period_ps; clock_net } in
+  t.domains <- Array.append t.domains [| d |];
+  Array.length t.domains - 1
+
+let num_insts t = Vec.length t.insts
+let num_nets t = Vec.length t.nets
+
+let inst t id = Vec.get t.insts id
+let net t id = Vec.get t.nets id
+let port t id = Vec.get t.ports id
+
+let iter_insts t f = Vec.iter f t.insts
+let iter_nets t f = Vec.iter f t.nets
+
+let find_port t name =
+  let found = ref None in
+  Vec.iter (fun p -> if p.pname = name then found := Some p) t.ports;
+  !found
+
+let connect t ~inst:iid ~pin ~net:nid =
+  let i = inst t iid and n = net t nid in
+  if pin < 0 || pin >= Array.length i.conns then invalid_arg "Design.connect: bad pin";
+  if i.conns.(pin) >= 0 then
+    invalid_arg (Printf.sprintf "Design.connect: pin %d of %s already connected" pin i.iname);
+  i.conns.(pin) <- nid;
+  let p = i.cell.Stdcell.Cell.pins.(pin) in
+  match p.Stdcell.Pin.dir with
+  | Stdcell.Pin.Input -> n.sinks <- (iid, pin) :: n.sinks
+  | Stdcell.Pin.Output ->
+    (match n.driver with
+     | No_driver -> n.driver <- Cell_pin (iid, pin)
+     | _ -> invalid_arg (Printf.sprintf "Design.connect: net %s double-driven" n.nname))
+
+let disconnect t ~inst:iid ~pin =
+  let i = inst t iid in
+  let nid = i.conns.(pin) in
+  if nid >= 0 then begin
+    let n = net t nid in
+    i.conns.(pin) <- -1;
+    let p = i.cell.Stdcell.Cell.pins.(pin) in
+    match p.Stdcell.Pin.dir with
+    | Stdcell.Pin.Input ->
+      n.sinks <- List.filter (fun (i', p') -> not (i' = iid && p' = pin)) n.sinks
+    | Stdcell.Pin.Output ->
+      (match n.driver with
+       | Cell_pin (i', p') when i' = iid && p' = pin -> n.driver <- No_driver
+       | _ -> ())
+  end
+
+let connect_out_port t ~port:pid ~net:nid =
+  let p = port t pid and n = net t nid in
+  if p.dir <> Out then invalid_arg "Design.connect_out_port: not an output port";
+  (* release the placeholder net created by [add_port] *)
+  if p.pnet >= 0 then (net t p.pnet).out_port <- -1;
+  p.pnet <- nid;
+  n.out_port <- pid
+
+let fanout t nid = List.length (net t nid).sinks
+
+let net_of_output _t (i : instance) =
+  match i.cell.Stdcell.Cell.kind with
+  | Stdcell.Cell.Filler -> -1
+  | _ ->
+    let out = Stdcell.Cell.output_pin i.cell in
+    i.conns.(out)
+
+let is_ff (i : instance) = i.cell.Stdcell.Cell.sequential
+
+let ffs t =
+  let acc = ref [] in
+  iter_insts t (fun i -> if is_ff i then acc := i :: !acc);
+  List.rev !acc
+
+let ports_with dir t =
+  let acc = ref [] in
+  Vec.iter (fun p -> if p.dir = dir then acc := p :: !acc) t.ports;
+  List.rev !acc
+
+let input_ports t = ports_with In t
+let output_ports t = ports_with Out t
+
+let replace_cell t ~inst:iid ~cell ~pin_map =
+  let i = inst t iid in
+  let old_conns = Array.copy i.conns in
+  (* detach all old pins first so the net driver/sink lists stay coherent *)
+  Array.iteri (fun pin nid -> if nid >= 0 then disconnect t ~inst:iid ~pin) old_conns;
+  i.cell <- cell;
+  i.conns <- Array.make (Array.length cell.Stdcell.Cell.pins) (-1);
+  let rewire (old_pin, new_pin) =
+    let nid = old_conns.(old_pin) in
+    if nid >= 0 then connect t ~inst:iid ~pin:new_pin ~net:nid
+  in
+  List.iter rewire pin_map
+
+let split_net t ~net:nid ~name =
+  let old = net t nid in
+  let fresh = add_net t name in
+  fresh.sinks <- old.sinks;
+  old.sinks <- [];
+  List.iter
+    (fun (iid, pin) -> (inst t iid).conns.(pin) <- fresh.nid)
+    fresh.sinks;
+  if old.out_port >= 0 then begin
+    let p = port t old.out_port in
+    p.pnet <- fresh.nid;
+    fresh.out_port <- old.out_port;
+    old.out_port <- -1
+  end;
+  fresh

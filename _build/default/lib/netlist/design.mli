@@ -1,0 +1,111 @@
+(** Gate-level netlists.
+
+    A design is a mutable graph of cell instances connected by nets, plus
+    top-level ports and clock-domain definitions. Instances and nets are
+    identified by dense integer ids so downstream passes (testability, ATPG,
+    placement, STA) can key arrays by id. Instances are never deleted:
+    design transformations (scan replacement, TPI, buffering) mutate cells
+    in place or append new instances, mirroring how ECO flows work. *)
+
+type port_dir =
+  | In
+  | Out
+
+type driver =
+  | No_driver
+  | Port_in of int        (** driven by input port [id] *)
+  | Cell_pin of int * int (** driven by (instance id, pin index) *)
+
+type instance = {
+  id : int;
+  mutable iname : string;
+  mutable cell : Stdcell.Cell.t;
+  mutable conns : int array;  (** pin index -> net id; [-1] = unconnected *)
+  mutable domain : int;       (** clock domain for sequential cells; [-1] else *)
+}
+
+type net = {
+  nid : int;
+  mutable nname : string;
+  mutable driver : driver;
+  mutable sinks : (int * int) list;  (** (instance id, pin index) loads *)
+  mutable out_port : int;            (** output port id driven by this net; [-1] *)
+}
+
+type port = {
+  pid : int;
+  pname : string;
+  dir : port_dir;
+  mutable pnet : int;  (** net bound to this port; [-1] while unbound *)
+}
+
+type domain = {
+  dom_name : string;
+  period_ps : float;       (** target clock period *)
+  mutable clock_net : int; (** the clock distribution net *)
+}
+
+type t = {
+  design_name : string;
+  lib : Stdcell.Library.t;
+  insts : instance Util.Vec.t;
+  nets : net Util.Vec.t;
+  ports : port Util.Vec.t;
+  mutable domains : domain array;
+}
+
+val create : ?lib:Stdcell.Library.t -> string -> t
+
+(** {1 Construction} *)
+
+val add_net : t -> string -> net
+val add_port : t -> string -> port_dir -> port
+(** Creates the port and a net of the same name bound to it. Input-port nets
+    are driven by the port. *)
+
+val add_instance : t -> name:string -> cell:Stdcell.Cell.t -> instance
+val add_domain : t -> name:string -> period_ps:float -> clock_net:int -> int
+(** Returns the domain index. *)
+
+val connect : t -> inst:int -> pin:int -> net:int -> unit
+(** Attach an instance pin to a net, maintaining driver/sink consistency.
+    Raises [Invalid_argument] on double-driven nets or already-connected
+    pins. *)
+
+val disconnect : t -> inst:int -> pin:int -> unit
+val connect_out_port : t -> port:int -> net:int -> unit
+
+(** {1 Access} *)
+
+val num_insts : t -> int
+val num_nets : t -> int
+val inst : t -> int -> instance
+val net : t -> int -> net
+val port : t -> int -> port
+val iter_insts : t -> (instance -> unit) -> unit
+val iter_nets : t -> (net -> unit) -> unit
+val find_port : t -> string -> port option
+
+val fanout : t -> int -> int
+(** Number of sink pins on a net. *)
+
+val net_of_output : t -> instance -> int
+(** Net driven by the instance's output pin, [-1] if none. *)
+
+val is_ff : instance -> bool
+val ffs : t -> instance list
+(** All sequential instances, in id order. *)
+
+val input_ports : t -> port list
+val output_ports : t -> port list
+
+val replace_cell : t -> inst:int -> cell:Stdcell.Cell.t -> pin_map:(int * int) list -> unit
+(** [replace_cell t ~inst ~cell ~pin_map] swaps the instance's cell,
+    rewiring old pin [o] to new pin [n] for each [(o, n)] in [pin_map];
+    unmapped old pins are disconnected, unmapped new pins left open. *)
+
+val split_net : t -> net:int -> name:string -> net
+(** [split_net t ~net ~name] creates a fresh net that takes over every sink
+    (and output-port binding) of [net], leaving [net] with its driver only.
+    This is the primitive under test point insertion: the inserted cell then
+    reads [net] and drives the new net. *)

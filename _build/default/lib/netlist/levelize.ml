@@ -1,0 +1,76 @@
+type t = {
+  order : int array;
+  level_of_inst : int array;
+  level_of_net : int array;
+  max_level : int;
+}
+
+exception Combinational_loop of int list
+
+let is_comb (i : Design.instance) =
+  (not i.cell.Stdcell.Cell.sequential) && i.cell.Stdcell.Cell.kind <> Stdcell.Cell.Filler
+
+let compute (d : Design.t) =
+  let ni = Design.num_insts d and nn = Design.num_nets d in
+  let level_of_inst = Array.make ni (-1) in
+  let level_of_net = Array.make nn 0 in
+  (* pending input-pin count per combinational instance *)
+  let pending = Array.make ni 0 in
+  let comb_count = ref 0 in
+  Design.iter_insts d (fun i ->
+      if is_comb i then begin
+        incr comb_count;
+        let count = ref 0 in
+        Array.iteri
+          (fun pin nid ->
+            if nid >= 0 && Stdcell.Pin.is_input i.cell.Stdcell.Cell.pins.(pin) then begin
+              match (Design.net d nid).driver with
+              | Design.Cell_pin (src, _) when is_comb (Design.inst d src) -> incr count
+              | _ -> ()
+            end)
+          i.conns;
+        pending.(i.id) <- !count
+      end);
+  let queue = Queue.create () in
+  Design.iter_insts d (fun i ->
+      if is_comb i && pending.(i.id) = 0 then Queue.add i.id queue);
+  let order = Array.make !comb_count 0 in
+  let emitted = ref 0 in
+  let max_level = ref 0 in
+  while not (Queue.is_empty queue) do
+    let iid = Queue.pop queue in
+    let i = Design.inst d iid in
+    let level = ref 0 in
+    Array.iteri
+      (fun pin nid ->
+        if nid >= 0 && Stdcell.Pin.is_input i.cell.Stdcell.Cell.pins.(pin) then
+          level := max !level (level_of_net.(nid) + 1))
+      i.conns;
+    level_of_inst.(iid) <- !level;
+    max_level := max !max_level !level;
+    order.(!emitted) <- iid;
+    incr emitted;
+    let out_net = Design.net_of_output d i in
+    if out_net >= 0 then begin
+      level_of_net.(out_net) <- !level;
+      List.iter
+        (fun (sink, _) ->
+          let s = Design.inst d sink in
+          if is_comb s then begin
+            pending.(sink) <- pending.(sink) - 1;
+            if pending.(sink) = 0 then Queue.add sink queue
+          end)
+        (Design.net d out_net).sinks
+    end
+  done;
+  if !emitted <> !comb_count then begin
+    let stuck = ref [] in
+    Design.iter_insts d (fun i ->
+        if is_comb i && level_of_inst.(i.id) < 0 then stuck := i.id :: !stuck);
+    raise (Combinational_loop (List.rev !stuck))
+  end;
+  (* nets driven by sequential cells or ports stay at level 0; nets driven by
+     combinational cells were set above *)
+  { order; level_of_inst; level_of_net; max_level = !max_level }
+
+let depth t = t.max_level

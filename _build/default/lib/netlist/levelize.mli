@@ -1,0 +1,21 @@
+(** Topological levelization of the combinational part of a design.
+
+    Sources are input ports, sequential-cell outputs and tie cells; every
+    combinational instance is assigned a level one greater than the deepest
+    of its input nets. The order drives logic simulation, testability
+    analysis and STA. *)
+
+type t = {
+  order : int array;          (** combinational instance ids, topologically sorted *)
+  level_of_inst : int array;  (** by instance id; [-1] for sequential/filler *)
+  level_of_net : int array;   (** by net id; sources at level 0 *)
+  max_level : int;
+}
+
+exception Combinational_loop of int list
+(** Carries the instance ids still unresolved when a cycle was detected. *)
+
+val compute : Design.t -> t
+
+val depth : t -> int
+(** [max_level]. *)

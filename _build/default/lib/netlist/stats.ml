@@ -1,0 +1,72 @@
+type t = {
+  cells : int;
+  ffs : int;
+  test_points : int;
+  scan_ffs : int;
+  combinational : int;
+  nets : int;
+  pins : int;
+  cell_area : float;
+  max_fanout : int;
+  logic_depth : int;
+  by_kind : (Stdcell.Cell.kind * int) list;
+}
+
+let compute (d : Design.t) =
+  let cells = ref 0
+  and ffs = ref 0
+  and test_points = ref 0
+  and scan_ffs = ref 0
+  and combinational = ref 0
+  and pins = ref 0
+  and cell_area = ref 0.0 in
+  let kind_counts : (Stdcell.Cell.kind, int) Hashtbl.t = Hashtbl.create 32 in
+  Design.iter_insts d (fun i ->
+      let cell = i.cell in
+      let kind = cell.Stdcell.Cell.kind in
+      if kind <> Stdcell.Cell.Filler then begin
+        incr cells;
+        cell_area := !cell_area +. Stdcell.Cell.area cell;
+        Array.iter (fun nid -> if nid >= 0 then incr pins) i.conns;
+        (match kind with
+         | Stdcell.Cell.Dff -> incr ffs
+         | Stdcell.Cell.Sdff ->
+           incr ffs;
+           incr scan_ffs
+         | Stdcell.Cell.Tsff ->
+           incr ffs;
+           incr scan_ffs;
+           incr test_points
+         | _ -> incr combinational);
+        Hashtbl.replace kind_counts kind
+          (1 + Option.value ~default:0 (Hashtbl.find_opt kind_counts kind))
+      end);
+  let max_fanout = ref 0 in
+  Design.iter_nets d (fun n -> max_fanout := max !max_fanout (List.length n.sinks));
+  let logic_depth =
+    match Levelize.compute d with
+    | lv -> Levelize.depth lv
+    | exception Levelize.Combinational_loop _ -> -1
+  in
+  let by_kind =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) kind_counts []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  { cells = !cells;
+    ffs = !ffs;
+    test_points = !test_points;
+    scan_ffs = !scan_ffs;
+    combinational = !combinational;
+    nets = Design.num_nets d;
+    pins = !pins;
+    cell_area = !cell_area;
+    max_fanout = !max_fanout;
+    logic_depth;
+    by_kind }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cells: %d (%d FF, %d TP, %d comb)@ nets: %d, pins: %d@ cell area: %.0f um^2@ \
+     max fanout: %d, depth: %d@]"
+    t.cells t.ffs t.test_points t.combinational t.nets t.pins t.cell_area t.max_fanout
+    t.logic_depth

@@ -1,0 +1,18 @@
+(** Design statistics: the raw counts behind Tables 1 and 2. *)
+
+type t = {
+  cells : int;            (** instances, excluding filler *)
+  ffs : int;              (** sequential instances (Dff + Sdff + Tsff) *)
+  test_points : int;      (** TSFF instances *)
+  scan_ffs : int;         (** Sdff + Tsff *)
+  combinational : int;
+  nets : int;
+  pins : int;             (** connected pins *)
+  cell_area : float;      (** um^2, excluding filler *)
+  max_fanout : int;
+  logic_depth : int;      (** combinational levels *)
+  by_kind : (Stdcell.Cell.kind * int) list;
+}
+
+val compute : Design.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/scan/chains.ml: Array List Netlist Printf Stdcell Tpi

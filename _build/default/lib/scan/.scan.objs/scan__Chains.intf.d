@@ -1,0 +1,1 @@
+lib/scan/chains.mli: Netlist

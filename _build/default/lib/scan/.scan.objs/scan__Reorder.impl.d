@@ -1,0 +1,1 @@
+lib/scan/reorder.ml: Array Chains Geom List Netlist Printf Stdcell

@@ -1,0 +1,1 @@
+lib/scan/reorder.mli: Chains Geom Netlist

@@ -1,0 +1,1 @@
+lib/scan/replace.ml: List Netlist Stdcell Tpi

@@ -1,0 +1,1 @@
+lib/scan/replace.mli: Netlist

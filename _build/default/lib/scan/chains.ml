@@ -1,0 +1,83 @@
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+
+type config =
+  | Max_length of int
+  | Num_chains of int
+
+type t = {
+  chains : int array array;
+  lmax : int;
+}
+
+let scan_cells (d : Design.t) =
+  let acc = ref [] in
+  Design.iter_insts d (fun i ->
+      match i.Design.cell.Cell.kind with
+      | Cell.Sdff | Cell.Tsff -> acc := i.Design.id :: !acc
+      | _ -> ());
+  Array.of_list (List.rev !acc)
+
+let of_order config order =
+  let n = Array.length order in
+  if n = 0 then { chains = [||]; lmax = 0 }
+  else begin
+    let num =
+      match config with
+      | Max_length l ->
+        if l <= 0 then invalid_arg "Chains: non-positive max length";
+        (n + l - 1) / l
+      | Num_chains c ->
+        if c <= 0 then invalid_arg "Chains: non-positive chain count";
+        min c n
+    in
+    let lmax = (n + num - 1) / num in
+    let chains =
+      Array.init num (fun k ->
+          let start = k * lmax in
+          let len = min lmax (n - start) in
+          Array.sub order start (max 0 len))
+    in
+    let chains = Array.of_list (List.filter (fun c -> Array.length c > 0) (Array.to_list chains)) in
+    { chains; lmax }
+  end
+
+let plan d config = of_order config (scan_cells d)
+
+let ti_pin = 1 (* TI is pin 1 on both SDFF and TSFF *)
+
+let q_net (d : Design.t) iid = Design.net_of_output d (Design.inst d iid)
+
+let stitch (d : Design.t) t =
+  let tie = Tpi.Insert.tie_low_net d in
+  (* undo any previous stitching: park every TI back on the tie cell *)
+  Design.iter_insts d (fun i ->
+      match i.Design.cell.Cell.kind with
+      | Cell.Sdff | Cell.Tsff ->
+        Design.disconnect d ~inst:i.Design.id ~pin:ti_pin;
+        Design.connect d ~inst:i.Design.id ~pin:ti_pin ~net:tie
+      | _ -> ());
+  Array.iteri
+    (fun k chain ->
+      let si_name = Printf.sprintf "si%d" k and so_name = Printf.sprintf "so%d" k in
+      let si =
+        match Design.find_port d si_name with
+        | Some p -> p
+        | None -> Design.add_port d si_name Design.In
+      in
+      let so =
+        match Design.find_port d so_name with
+        | Some p -> p
+        | None -> Design.add_port d so_name Design.Out
+      in
+      Array.iteri
+        (fun j iid ->
+          Design.disconnect d ~inst:iid ~pin:ti_pin;
+          let src = if j = 0 then si.Design.pnet else q_net d chain.(j - 1) in
+          Design.connect d ~inst:iid ~pin:ti_pin ~net:src)
+        chain;
+      let last = chain.(Array.length chain - 1) in
+      Design.connect_out_port d ~port:so.Design.pid ~net:(q_net d last))
+    t.chains
+
+let num_chains t = Array.length t.chains

@@ -1,0 +1,102 @@
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+module Point = Geom.Point
+
+type result = {
+  plan : Chains.t;
+  new_buffers : (int * Point.t) list;
+  wirelength_before : float;
+  wirelength_after : float;
+}
+
+let chain_wirelength (t : Chains.t) ~position =
+  Array.fold_left
+    (fun acc chain ->
+      let total = ref acc in
+      for j = 1 to Array.length chain - 1 do
+        total := !total +. Point.manhattan (position chain.(j - 1)) (position chain.(j))
+      done;
+      !total)
+    0.0 t.chains
+
+(* Row-banded snake: sort by row band, serpentine the x direction per band.
+   Consecutive cells end up physically adjacent, which is what minimises
+   the chain wiring the paper's step 3 is after. *)
+let snake_order (d : Design.t) ~position ~band_height =
+  let cells = ref [] in
+  Design.iter_insts d (fun i ->
+      match i.Design.cell.Cell.kind with
+      | Cell.Sdff | Cell.Tsff -> cells := i.Design.id :: !cells
+      | _ -> ());
+  let arr = Array.of_list (List.rev !cells) in
+  let key iid =
+    let p = position iid in
+    let band = int_of_float (p.Point.y /. band_height) in
+    let x = if band mod 2 = 0 then p.Point.x else -.p.Point.x in
+    (band, x)
+  in
+  let keyed = Array.map (fun iid -> (key iid, iid)) arr in
+  Array.sort (fun (ka, _) (kb, _) -> compare ka kb) keyed;
+  Array.map snd keyed
+
+let add_se_buffers (d : Design.t) ~position ~max_se_fanout =
+  match Design.find_port d "test_se" with
+  | None -> []
+  | Some p ->
+    let se = p.Design.pnet in
+    let sinks = (Design.net d se).Design.sinks in
+    if List.length sinks <= max_se_fanout then []
+    else begin
+      (* group sinks geographically (snake over sink positions), one buffer
+         per group, placed at the group's centroid *)
+      let keyed =
+        List.map
+          (fun (iid, pin) ->
+            let pt = position iid in
+            ((int_of_float (pt.Point.y /. 60.0), pt.Point.x), (iid, pin)))
+          sinks
+      in
+      let sorted = List.sort compare keyed in
+      let groups = ref [] and current = ref [] and count = ref 0 in
+      List.iter
+        (fun (_, sink) ->
+          current := sink :: !current;
+          incr count;
+          if !count >= max_se_fanout then begin
+            groups := List.rev !current :: !groups;
+            current := [];
+            count := 0
+          end)
+        sorted;
+      if !current <> [] then groups := List.rev !current :: !groups;
+      let buf_cell = Stdcell.Library.find d.Design.lib Cell.Buf ~drive:8 in
+      List.mapi
+        (fun k group ->
+          let b = Design.add_instance d ~name:(Printf.sprintf "se_buf%d" k) ~cell:buf_cell in
+          let out = Design.add_net d (Printf.sprintf "se_buf%d_y" k) in
+          Design.connect d ~inst:b.Design.id ~pin:0 ~net:se;
+          Design.connect d ~inst:b.Design.id ~pin:1 ~net:out.Design.nid;
+          let cx = ref 0.0 and cy = ref 0.0 and n = ref 0 in
+          List.iter
+            (fun (iid, pin) ->
+              Design.disconnect d ~inst:iid ~pin;
+              Design.connect d ~inst:iid ~pin ~net:out.Design.nid;
+              let pt = position iid in
+              cx := !cx +. pt.Point.x;
+              cy := !cy +. pt.Point.y;
+              incr n)
+            group;
+          let centroid = Point.make (!cx /. float_of_int !n) (!cy /. float_of_int !n) in
+          (b.Design.id, centroid))
+        !groups
+    end
+
+let run ?(max_se_fanout = 32) (d : Design.t) ~config ~position =
+  let before_plan = Chains.plan d config in
+  let wirelength_before = chain_wirelength before_plan ~position in
+  let order = snake_order d ~position ~band_height:(Stdcell.Library.row_height *. 4.0) in
+  let plan = Chains.of_order config order in
+  Chains.stitch d plan;
+  let wirelength_after = chain_wirelength plan ~position in
+  let new_buffers = add_se_buffers d ~position ~max_se_fanout in
+  { plan; new_buffers; wirelength_before; wirelength_after }

@@ -1,0 +1,26 @@
+(** Layout-driven scan-chain reordering (step 3 of the paper's flow).
+
+    After placement, scan cells are re-assigned to chains from their
+    physical positions (row-banded snake order, so each chain is a compact
+    geographic run) and restitched; buffers are added to the scan-enable
+    net to keep its fanout bounded, exactly as the paper describes. The
+    returned buffers carry desired coordinates for the ECO placement step. *)
+
+type result = {
+  plan : Chains.t;                        (** the reordered chains *)
+  new_buffers : (int * Geom.Point.t) list; (** scan-enable buffers to ECO-place *)
+  wirelength_before : float;              (** um, id-ordered stitching *)
+  wirelength_after : float;               (** um, reordered stitching *)
+}
+
+val run :
+  ?max_se_fanout:int ->
+  Netlist.Design.t ->
+  config:Chains.config ->
+  position:(int -> Geom.Point.t) ->
+  result
+(** Restitches the design in place. [position] maps a placed instance id to
+    its location; default [max_se_fanout] is 32. *)
+
+val chain_wirelength : Chains.t -> position:(int -> Geom.Point.t) -> float
+(** Total Manhattan length of the TI-to-Q hops of a plan. *)

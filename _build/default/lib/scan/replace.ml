@@ -1,0 +1,20 @@
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+
+let run (d : Design.t) =
+  let se = Tpi.Insert.test_se_net d in
+  let ti = Tpi.Insert.tie_low_net d in
+  let converted = ref 0 in
+  let todo = ref [] in
+  Design.iter_insts d (fun i -> if i.Design.cell.Cell.kind = Cell.Dff then todo := i.Design.id :: !todo);
+  List.iter
+    (fun iid ->
+      let i = Design.inst d iid in
+      let sdff = Stdcell.Library.find d.Design.lib Cell.Sdff ~drive:i.Design.cell.Cell.drive in
+      (* DFF pins: D=0 CK=1 Q=2; SDFF pins: D=0 TI=1 TE=2 CK=3 Q=4 *)
+      Design.replace_cell d ~inst:iid ~cell:sdff ~pin_map:[ (0, 0); (1, 3); (2, 4) ];
+      Design.connect d ~inst:iid ~pin:1 ~net:ti;
+      Design.connect d ~inst:iid ~pin:2 ~net:se;
+      incr converted)
+    !todo;
+  !converted

@@ -1,0 +1,7 @@
+(** Scan replacement: every plain DFF becomes an SDFF (muxed-D scan cell),
+    with TE on the global scan-enable and TI parked on the shared tie cell
+    until stitching (step 1 of the paper's flow). TSFFs already carry their
+    scan pins. *)
+
+val run : Netlist.Design.t -> int
+(** Returns the number of flip-flops converted. *)

@@ -1,0 +1,1 @@
+lib/sta/analysis.ml: Array Float Format Layout List Netlist Queue Stdcell

@@ -1,0 +1,1 @@
+lib/sta/slack.ml: Analysis Array Float Hashtbl Layout List Netlist Option Stdcell

@@ -1,0 +1,354 @@
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+module Lut = Stdcell.Lut
+
+type config = {
+  input_slew_ps : float;
+  input_arrival_ps : float;
+}
+
+let default_config = { input_slew_ps = 100.0; input_arrival_ps = 0.0 }
+
+type breakdown = {
+  b_wires : float;
+  b_intrinsic : float;
+  b_load_dep : float;
+  b_setup : float;
+  b_skew : float;
+}
+
+let breakdown_total b = b.b_wires +. b.b_intrinsic +. b.b_load_dep +. b.b_setup +. b.b_skew
+
+type step = {
+  st_inst : int;
+  st_in_pin : int;
+  st_cell_delay : float;
+  st_wire_delay : float;
+}
+
+type endpoint =
+  | At_ff_data of int
+  | At_output of int
+
+type startpoint =
+  | From_ff of int
+  | From_input of int
+
+type critical_path = {
+  domain : int;
+  t_cp : float;
+  fmax_mhz : float;
+  breakdown : breakdown;
+  endpoint : endpoint;
+  startpoint : startpoint;
+  steps : step list;
+  test_points_on_path : int;
+  launch_latency : float;
+  capture_latency : float;
+}
+
+type t = {
+  arrival : float array;
+  slew : float array;
+  slow_nodes : int;
+  per_domain : critical_path option array;
+  worst : critical_path option;
+}
+
+(* an instance is a launch element when its output is clocked: plain and
+   scan flip-flops. The TSFF's clocked output only exists in test mode, so
+   in application-mode STA it is a combinational cell (two mux delays,
+   D -> Q) with a setup check at D. *)
+let is_launch (i : Design.instance) =
+  match i.Design.cell.Cell.kind with
+  | Cell.Dff | Cell.Sdff -> true
+  | _ -> false
+
+let app_arcs (cell : Cell.t) =
+  List.filter (fun (a : Cell.arc) -> not a.Cell.test_only) (Array.to_list cell.Cell.arcs)
+
+(* timing input pins of an instance in application mode *)
+let timing_inputs (i : Design.instance) =
+  if is_launch i then
+    match Cell.clock_pin i.Design.cell with Some ck -> [ ck ] | None -> []
+  else List.map (fun (a : Cell.arc) -> a.Cell.from_pin) (app_arcs i.Design.cell)
+
+let run ?(config = default_config) (pl : Layout.Place.t) (rc : Layout.Extract.net_rc array) =
+  let d = pl.Layout.Place.design in
+  let nn = Design.num_nets d in
+  let arrival = Array.make nn neg_infinity in
+  let slew = Array.make nn config.input_slew_ps in
+  (* which (instance, input pin) set each net's worst arrival *)
+  let from_inst = Array.make nn (-1) and from_pin = Array.make nn (-1) in
+  let slow_flag = Array.make (Design.num_insts d) false in
+  (* seed: ports and constants *)
+  List.iter
+    (fun (p : Design.port) ->
+      if p.Design.pnet >= 0 then begin
+        arrival.(p.Design.pnet) <- config.input_arrival_ps;
+        slew.(p.Design.pnet) <- config.input_slew_ps
+      end)
+    (Design.input_ports d);
+  Design.iter_insts d (fun i ->
+      match i.Design.cell.Cell.kind with
+      | Cell.Tiehi | Cell.Tielo ->
+        let out = Design.net_of_output d i in
+        if out >= 0 then begin
+          arrival.(out) <- 0.0;
+          slew.(out) <- config.input_slew_ps
+        end
+      | _ -> ());
+  (* Kahn order over instances: a cell is ready when all nets feeding its
+     timing input pins have been finalised *)
+  let pending = Array.make (Design.num_insts d) 0 in
+  let driven_by_cell nid =
+    match (Design.net d nid).Design.driver with
+    | Design.Cell_pin (src, _) ->
+      let s = Design.inst d src in
+      (match s.Design.cell.Cell.kind with
+       | Cell.Tiehi | Cell.Tielo | Cell.Filler -> None
+       | _ -> Some src)
+    | Design.Port_in _ | Design.No_driver -> None
+  in
+  let queue = Queue.create () in
+  let considered = Array.make (Design.num_insts d) false in
+  Design.iter_insts d (fun i ->
+      match i.Design.cell.Cell.kind with
+      | Cell.Filler | Cell.Tiehi | Cell.Tielo -> ()
+      | _ ->
+        considered.(i.Design.id) <- true;
+        let count = ref 0 in
+        List.iter
+          (fun pin ->
+            let nid = i.Design.conns.(pin) in
+            if nid >= 0 && driven_by_cell nid <> None then incr count)
+          (timing_inputs i);
+        pending.(i.Design.id) <- !count;
+        if !count = 0 then Queue.add i.Design.id queue);
+  let processed = ref 0 and total = ref 0 in
+  Array.iter (fun c -> if c then incr total) considered;
+  let pin_arrival nid iid pin =
+    arrival.(nid) +. Layout.Extract.sink_elmore rc.(nid) ~inst:iid ~pin
+  in
+  let pin_slew nid iid pin =
+    slew.(nid) +. (2.0 *. Layout.Extract.sink_elmore rc.(nid) ~inst:iid ~pin)
+  in
+  while not (Queue.is_empty queue) do
+    let iid = Queue.pop queue in
+    incr processed;
+    let i = Design.inst d iid in
+    let cell = i.Design.cell in
+    let update_out out_net cand_arr cand_slew pin extrapolated =
+      if cand_arr > arrival.(out_net) then begin
+        arrival.(out_net) <- cand_arr;
+        slew.(out_net) <- cand_slew;
+        from_inst.(out_net) <- iid;
+        from_pin.(out_net) <- pin
+      end;
+      if extrapolated then slow_flag.(iid) <- true
+    in
+    (match is_launch i with
+     | true ->
+       (match Cell.clock_pin cell with
+        | Some ck ->
+          let cknet = i.Design.conns.(ck) in
+          if cknet >= 0 && arrival.(cknet) > neg_infinity then begin
+            let ck_arr = pin_arrival cknet iid ck and ck_slew = pin_slew cknet iid ck in
+            List.iter
+              (fun (a : Cell.arc) ->
+                if a.Cell.from_pin = ck then begin
+                  let out_net = i.Design.conns.(a.Cell.to_pin) in
+                  if out_net >= 0 then begin
+                    let load = rc.(out_net).Layout.Extract.total_cap_ff in
+                    let dl = Lut.eval a.Cell.delay ~slew:ck_slew ~load in
+                    let sl = Lut.eval a.Cell.out_slew ~slew:ck_slew ~load in
+                    update_out out_net (ck_arr +. dl.Lut.value) sl.Lut.value ck
+                      (dl.Lut.extrapolated || sl.Lut.extrapolated)
+                  end
+                end)
+              (app_arcs cell)
+          end
+        | None -> ())
+     | false ->
+       List.iter
+         (fun (a : Cell.arc) ->
+           let in_net = i.Design.conns.(a.Cell.from_pin) in
+           let out_net = i.Design.conns.(a.Cell.to_pin) in
+           if in_net >= 0 && out_net >= 0 && arrival.(in_net) > neg_infinity then begin
+             let pa = pin_arrival in_net iid a.Cell.from_pin in
+             let ps = pin_slew in_net iid a.Cell.from_pin in
+             let load = rc.(out_net).Layout.Extract.total_cap_ff in
+             let dl = Lut.eval a.Cell.delay ~slew:ps ~load in
+             let sl = Lut.eval a.Cell.out_slew ~slew:ps ~load in
+             update_out out_net (pa +. dl.Lut.value) sl.Lut.value a.Cell.from_pin
+               (dl.Lut.extrapolated || sl.Lut.extrapolated)
+           end)
+         (app_arcs cell));
+    (* release dependents *)
+    (match Design.net_of_output d i with
+     | -1 -> ()
+     | out_net ->
+       List.iter
+         (fun (sink, pin) ->
+           let s = Design.inst d sink in
+           if considered.(sink) && List.mem pin (timing_inputs s) then begin
+             pending.(sink) <- pending.(sink) - 1;
+             if pending.(sink) = 0 then Queue.add sink queue
+           end)
+         (Design.net d out_net).Design.sinks)
+  done;
+  if !processed <> !total then failwith "Sta.Analysis.run: combinational cycle";
+  let slow_nodes = Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 slow_flag in
+  (* ---- endpoints and critical paths ---- *)
+  (* backtrack from a (net, sink inst, sink pin) to the path's start *)
+  let backtrack end_net end_inst end_pin =
+    let steps = ref [] in
+    let rec walk nid iid pin guard =
+      if guard > 100_000 then failwith "Sta.Analysis: path backtrack diverged";
+      let wire = Layout.Extract.sink_elmore rc.(nid) ~inst:iid ~pin in
+      match (Design.net d nid).Design.driver with
+      | Design.Port_in pid ->
+        steps := { st_inst = -1; st_in_pin = -1; st_cell_delay = 0.0; st_wire_delay = wire } :: !steps;
+        From_input pid
+      | Design.No_driver -> From_input (-1)
+      | Design.Cell_pin (src, _) ->
+        let s = Design.inst d src in
+        (match s.Design.cell.Cell.kind with
+         | Cell.Tiehi | Cell.Tielo -> From_input (-1)
+         | _ ->
+           let in_pin = from_pin.(nid) in
+           (* reconstruct this cell's delay for the step record *)
+           let cell_delay =
+             let in_net = if in_pin >= 0 then s.Design.conns.(in_pin) else -1 in
+             if in_net >= 0 then arrival.(nid) -. arrival.(in_net)
+               -. Layout.Extract.sink_elmore rc.(in_net) ~inst:src ~pin:in_pin
+             else 0.0
+           in
+           steps :=
+             { st_inst = src; st_in_pin = in_pin; st_cell_delay = cell_delay;
+               st_wire_delay = wire }
+             :: !steps;
+           if is_launch s then From_ff src
+           else begin
+             let in_net = s.Design.conns.(in_pin) in
+             walk in_net src in_pin (guard + 1)
+           end)
+    in
+    let start = walk end_net end_inst end_pin 0 in
+    (start, !steps)
+  in
+  let ck_arrival iid =
+    let i = Design.inst d iid in
+    match Cell.clock_pin i.Design.cell with
+    | Some ck ->
+      let cknet = i.Design.conns.(ck) in
+      if cknet >= 0 && arrival.(cknet) > neg_infinity then
+        arrival.(cknet) +. Layout.Extract.sink_elmore rc.(cknet) ~inst:iid ~pin:ck
+      else 0.0
+    | None -> 0.0
+  in
+  (* candidate endpoints: every sequential D pin (incl. TSFF) *)
+  let candidates = ref [] in
+  Design.iter_insts d (fun i ->
+      if i.Design.cell.Cell.sequential then begin
+        match Cell.data_pin i.Design.cell with
+        | Some dp ->
+          let dnet = i.Design.conns.(dp) in
+          if dnet >= 0 && arrival.(dnet) > neg_infinity then begin
+            let arr_d = pin_arrival dnet i.Design.id dp in
+            let t_cp = arr_d +. i.Design.cell.Cell.setup -. ck_arrival i.Design.id in
+            candidates := (t_cp, i.Design.domain, dnet, i.Design.id, dp) :: !candidates
+          end
+        | None -> ()
+      end);
+  let sorted = List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare b a) !candidates in
+  let num_domains = Array.length d.Design.domains in
+  let per_domain = Array.make (max num_domains 1) None in
+  let build_path (t_cp, dom, dnet, iid, dp) =
+    let startpoint, steps = backtrack dnet iid dp in
+    (* cross-domain paths are false paths *)
+    let same_domain =
+      match startpoint with
+      | From_ff src -> (Design.inst d src).Design.domain = dom
+      | From_input _ -> true
+    in
+    if not same_domain then None
+    else begin
+      let launch_latency =
+        match startpoint with From_ff src -> ck_arrival src | From_input _ -> 0.0
+      in
+      let capture_latency = ck_arrival iid in
+      let setup = (Design.inst d iid).Design.cell.Cell.setup in
+      let b_wires = List.fold_left (fun acc s -> acc +. s.st_wire_delay) 0.0 steps in
+      let tps = ref 0 in
+      let b_intrinsic = ref 0.0 and b_load_dep = ref 0.0 in
+      List.iter
+        (fun s ->
+          if s.st_inst >= 0 then begin
+            let cell = (Design.inst d s.st_inst).Design.cell in
+            if cell.Cell.kind = Cell.Tsff then incr tps;
+            let arc =
+              List.find_opt (fun (a : Cell.arc) -> a.Cell.from_pin = s.st_in_pin)
+                (app_arcs cell)
+            in
+            match arc with
+            | Some a ->
+              let intr = Lut.corner a.Cell.delay in
+              b_intrinsic := !b_intrinsic +. intr;
+              b_load_dep := !b_load_dep +. Float.max 0.0 (s.st_cell_delay -. intr)
+            | None -> ()
+          end)
+        steps;
+      let breakdown =
+        { b_wires;
+          b_intrinsic = !b_intrinsic;
+          b_load_dep = !b_load_dep;
+          b_setup = setup;
+          b_skew = launch_latency -. capture_latency }
+      in
+      Some
+        { domain = dom;
+          t_cp;
+          fmax_mhz = (if t_cp > 0.0 then 1e6 /. t_cp else infinity);
+          breakdown;
+          endpoint = At_ff_data iid;
+          startpoint;
+          steps;
+          test_points_on_path = !tps;
+          launch_latency;
+          capture_latency }
+    end
+  in
+  List.iter
+    (fun ((_, dom, _, _, _) as cand) ->
+      let dom = max dom 0 in
+      if dom < Array.length per_domain && per_domain.(dom) = None then
+        match build_path cand with
+        | Some p -> per_domain.(dom) <- Some p
+        | None -> ())
+    sorted;
+  let worst =
+    Array.fold_left
+      (fun acc p ->
+        match (acc, p) with
+        | None, p -> p
+        | Some a, Some b -> if b.t_cp > a.t_cp then Some b else Some a
+        | Some a, None -> Some a)
+      None per_domain
+  in
+  { arrival; slew; slow_nodes; per_domain; worst }
+
+let pp_path (d : Design.t) ppf p =
+  let name iid = (Design.inst d iid).Design.iname in
+  Format.fprintf ppf
+    "@[<v>domain %d: T_cp = %.0f ps (F_max = %.1f MHz), %d test points on path@ \
+     wires %.0f + intrinsic %.0f + load-dep %.0f + setup %.0f + skew %.0f@ "
+    p.domain p.t_cp p.fmax_mhz p.test_points_on_path p.breakdown.b_wires
+    p.breakdown.b_intrinsic p.breakdown.b_load_dep p.breakdown.b_setup p.breakdown.b_skew;
+  (match p.startpoint with
+   | From_ff i -> Format.fprintf ppf "from %s" (name i)
+   | From_input pid -> Format.fprintf ppf "from input port %d" pid);
+  (match p.endpoint with
+   | At_ff_data i -> Format.fprintf ppf " to %s" (name i)
+   | At_output pid -> Format.fprintf ppf " to output port %d" pid);
+  Format.fprintf ppf " (%d cells)@]" (List.length p.steps)

@@ -1,0 +1,68 @@
+(** Static timing analysis (step 6, the PEARL stand-in).
+
+    Application-mode worst-arrival propagation over the placed, routed and
+    extracted design: NLDM table lookups for cell arcs (with explicit slow
+    nodes when slew/load leave the characterised range, as the paper
+    describes), Elmore interconnect delays, clock latency and skew obtained
+    by propagating the clock ports through the inserted buffer trees, and
+    test-mode-only arcs blocked as false paths. The critical path report
+    decomposes T_cp per equation (3):
+    T_cp = T_wires + T_intrinsic + T_load-dep + T_setup + T_skew. *)
+
+type config = {
+  input_slew_ps : float;    (** slew assumed at primary inputs *)
+  input_arrival_ps : float;
+}
+
+val default_config : config
+
+type breakdown = {
+  b_wires : float;
+  b_intrinsic : float;
+  b_load_dep : float;
+  b_setup : float;
+  b_skew : float;
+}
+
+val breakdown_total : breakdown -> float
+
+type step = {
+  st_inst : int;       (** instance traversed *)
+  st_in_pin : int;
+  st_cell_delay : float;
+  st_wire_delay : float;  (** wire Elmore into this cell's input *)
+}
+
+type endpoint =
+  | At_ff_data of int   (** capturing flip-flop instance *)
+  | At_output of int    (** output port id *)
+
+type startpoint =
+  | From_ff of int
+  | From_input of int  (** input port id *)
+
+type critical_path = {
+  domain : int;
+  t_cp : float;          (** ps; the minimum clock period this path allows *)
+  fmax_mhz : float;
+  breakdown : breakdown;
+  endpoint : endpoint;
+  startpoint : startpoint;
+  steps : step list;     (** startpoint to endpoint order *)
+  test_points_on_path : int;  (** Table 3's #TP_cp *)
+  launch_latency : float;
+  capture_latency : float;
+}
+
+type t = {
+  arrival : float array;      (** worst arrival per net, ps *)
+  slew : float array;         (** slew per net at the driver, ps *)
+  slow_nodes : int;           (** cells with out-of-table (extrapolated) lookups *)
+  per_domain : critical_path option array;
+  worst : critical_path option;
+}
+
+val run : ?config:config -> Layout.Place.t -> Layout.Extract.net_rc array -> t
+(** Raises [Failure] on a combinational cycle. *)
+
+val pp_path : Netlist.Design.t -> Format.formatter -> critical_path -> unit

@@ -1,0 +1,87 @@
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+
+type endpoint_slack = {
+  ff : int;
+  domain : int;
+  slack_ps : float;
+}
+
+type t = {
+  endpoints : endpoint_slack list;
+  wns : float;
+  tns : float;
+  violations : int;
+}
+
+let report (pl : Layout.Place.t) (rc : Layout.Extract.net_rc array) (a : Analysis.t) =
+  let d = pl.Layout.Place.design in
+  let acc = ref [] in
+  Design.iter_insts d (fun i ->
+      if i.Design.cell.Cell.sequential && i.Design.domain >= 0
+         && i.Design.domain < Array.length d.Design.domains then begin
+        match Cell.data_pin i.Design.cell with
+        | Some dp ->
+          let dnet = i.Design.conns.(dp) in
+          if dnet >= 0 && a.Analysis.arrival.(dnet) > neg_infinity then begin
+            let arr =
+              a.Analysis.arrival.(dnet)
+              +. Layout.Extract.sink_elmore rc.(dnet) ~inst:i.Design.id ~pin:dp
+            in
+            let capture =
+              match Cell.clock_pin i.Design.cell with
+              | Some ck ->
+                let cknet = i.Design.conns.(ck) in
+                if cknet >= 0 && a.Analysis.arrival.(cknet) > neg_infinity then
+                  a.Analysis.arrival.(cknet)
+                  +. Layout.Extract.sink_elmore rc.(cknet) ~inst:i.Design.id ~pin:ck
+                else 0.0
+              | None -> 0.0
+            in
+            let period = d.Design.domains.(i.Design.domain).Design.period_ps in
+            let slack = period +. capture -. (arr +. i.Design.cell.Cell.setup) in
+            acc := { ff = i.Design.id; domain = i.Design.domain; slack_ps = slack } :: !acc
+          end
+        | None -> ()
+      end);
+  let endpoints = List.sort (fun x y -> compare x.slack_ps y.slack_ps) !acc in
+  let wns = match endpoints with [] -> 0.0 | e :: _ -> e.slack_ps in
+  let tns =
+    List.fold_left (fun s e -> if e.slack_ps < 0.0 then s +. e.slack_ps else s) 0.0 endpoints
+  in
+  let violations = List.length (List.filter (fun e -> e.slack_ps < 0.0) endpoints) in
+  { endpoints; wns; tns; violations }
+
+let below t margin = List.filter (fun e -> e.slack_ps < margin) t.endpoints
+
+let histogram t ~bucket_ps =
+  if bucket_ps <= 0.0 then invalid_arg "Slack.histogram: bucket";
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      let b = Float.of_int (int_of_float (Float.floor (e.slack_ps /. bucket_ps))) *. bucket_ps in
+      Hashtbl.replace tbl b (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
+    t.endpoints;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let nets_on_worst_paths (pl : Layout.Place.t) (a : Analysis.t) ~margin_ps =
+  let d = pl.Layout.Place.design in
+  let out = ref [] in
+  Array.iter
+    (fun path ->
+      match path with
+      | None -> ()
+      | Some (p : Analysis.critical_path) ->
+        let worst = p.Analysis.t_cp in
+        Array.iteri
+          (fun nid arr -> if arr > worst -. margin_ps then out := nid :: !out)
+          a.Analysis.arrival;
+        List.iter
+          (fun (s : Analysis.step) ->
+            if s.Analysis.st_inst >= 0 then
+              Array.iter
+                (fun nid -> if nid >= 0 then out := nid :: !out)
+                (Design.inst d s.Analysis.st_inst).Design.conns)
+          p.Analysis.steps)
+    a.Analysis.per_domain;
+  List.sort_uniq compare !out

@@ -1,0 +1,33 @@
+(** Slack reporting on top of {!Analysis}: per-endpoint setup slacks at the
+    clock period(s) of the design's domains, the worst endpoints, and a
+    slack histogram — the view a designer uses to judge whether test point
+    insertion broke timing closure (paper §5: "this approach requires
+    timing analysis for identifying all paths with slack below a certain
+    threshold"). *)
+
+type endpoint_slack = {
+  ff : int;            (** capturing flip-flop instance id *)
+  domain : int;
+  slack_ps : float;    (** period - (arrival + setup - capture latency) *)
+}
+
+type t = {
+  endpoints : endpoint_slack list;  (** worst first *)
+  wns : float;                      (** worst negative (or smallest) slack *)
+  tns : float;                      (** total negative slack *)
+  violations : int;
+}
+
+val report : Layout.Place.t -> Layout.Extract.net_rc array -> Analysis.t -> t
+(** Slack against each domain's declared period. *)
+
+val below : t -> float -> endpoint_slack list
+(** Endpoints with slack below a margin: the critical-path exclusion set of
+    the paper's §5. *)
+
+val histogram : t -> bucket_ps:float -> (float * int) list
+(** (bucket lower bound, count) pairs in ascending slack order. *)
+
+val nets_on_worst_paths : Layout.Place.t -> Analysis.t -> margin_ps:float -> int list
+(** Nets whose arrival is within [margin_ps] of a domain's critical arrival:
+    the nets TPI must avoid in the timing-aware ablation. *)

@@ -1,0 +1,1 @@
+lib/stdcell/cell.ml: Array Format Fun Int64 List Lut Pin

@@ -1,0 +1,1 @@
+lib/stdcell/cell.mli: Format Lut Pin

@@ -1,0 +1,1 @@
+lib/stdcell/liberty.ml: Array Buffer Cell Format Fun Library List Lut Pin Printf String

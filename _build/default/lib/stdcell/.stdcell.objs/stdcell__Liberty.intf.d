@@ -1,0 +1,1 @@
+lib/stdcell/liberty.mli: Format Library

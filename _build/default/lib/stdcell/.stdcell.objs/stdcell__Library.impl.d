@@ -1,0 +1,1 @@
+lib/stdcell/library.ml: Array Cell Hashtbl List Lut Pin Printf

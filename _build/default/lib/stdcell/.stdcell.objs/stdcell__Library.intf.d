@@ -1,0 +1,1 @@
+lib/stdcell/library.mli: Cell

@@ -1,0 +1,1 @@
+lib/stdcell/lut.ml: Array

@@ -1,0 +1,1 @@
+lib/stdcell/pin.mli: Format

@@ -1,0 +1,9 @@
+(** Liberty (.lib) export of the synthetic cell library.
+
+    Useful for inspecting the characterisation with standard EDA viewers
+    and for documenting exactly what the STA consumes: every cell's area,
+    pin capacitances, and the NLDM delay/slew tables with their axes. *)
+
+val write : Format.formatter -> Library.t -> unit
+val to_string : Library.t -> string
+val write_file : string -> Library.t -> unit

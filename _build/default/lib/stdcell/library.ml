@@ -1,0 +1,244 @@
+type t = {
+  table : (string, Cell.t) Hashtbl.t;
+  order : Cell.t list;
+}
+
+let row_height = Cell.row_height_um
+
+let slew_axis = [| 5.0; 30.0; 80.0; 200.0; 600.0; 1500.0 |]
+
+let load_axis_x1 = [| 0.0; 3.0; 10.0; 25.0; 60.0; 140.0 |]
+
+(* Per-kind characterisation at X1: intrinsic delay d0 (ps), output
+   resistance slope r (ps/fF), input pin capacitance (fF), cell width (um).
+   Values are in normal 130 nm ranges; see DESIGN.md on why only ratios
+   matter for the reproduction. *)
+let comb_params =
+  [ (Cell.Inv, (22.0, 5.5, 1.8, 1.1));
+    (Cell.Buf, (45.0, 4.5, 1.9, 1.5));
+    (Cell.Clkbuf, (40.0, 3.5, 2.2, 1.8));
+    (Cell.Nand2, (32.0, 6.0, 2.0, 1.5));
+    (Cell.Nand3, (42.0, 6.8, 2.2, 1.9));
+    (Cell.Nor2, (36.0, 7.2, 2.0, 1.5));
+    (Cell.Nor3, (50.0, 8.4, 2.2, 1.9));
+    (Cell.And2, (55.0, 4.8, 1.9, 1.9));
+    (Cell.Or2, (60.0, 5.0, 1.9, 1.9));
+    (Cell.Xor2, (75.0, 6.5, 3.2, 2.6));
+    (Cell.Xnor2, (78.0, 6.5, 3.2, 2.6));
+    (Cell.Aoi21, (48.0, 7.5, 2.1, 1.9));
+    (Cell.Oai21, (46.0, 7.3, 2.1, 1.9));
+    (Cell.Mux2, (65.0, 6.0, 2.4, 2.6)) ]
+
+let log2f x = log x /. log 2.0
+
+(* Drive scaling: stronger output stage -> proportionally lower resistance,
+   slightly higher intrinsic delay (self loading), larger inputs and area. *)
+let scale_d0 d0 drive = d0 *. (1.0 +. (0.05 *. log2f (float_of_int drive)))
+let scale_r r drive = r /. float_of_int drive
+let scale_cap cap drive = cap *. (0.5 +. (0.5 *. float_of_int drive))
+let scale_width w drive = w *. (0.7 +. (0.3 *. float_of_int drive))
+let scale_loads drive = Array.map (fun l -> l *. float_of_int drive) load_axis_x1
+
+let delay_lut ~d0 ~r ~drive =
+  Lut.of_model ~slews:slew_axis ~loads:(scale_loads drive)
+    ~f:(fun ~slew ~load -> d0 +. (0.15 *. slew) +. (r *. load))
+
+let slew_lut ~d0 ~r ~drive =
+  Lut.of_model ~slews:slew_axis ~loads:(scale_loads drive)
+    ~f:(fun ~slew ~load -> (0.6 *. d0) +. 15.0 +. (2.0 *. r *. load) +. (0.1 *. slew))
+
+let cell_name kind drive = Printf.sprintf "%sX%d" (Cell.kind_name kind) drive
+
+let input_names kind =
+  match Cell.num_inputs kind with
+  | 0 -> []
+  | 1 -> [ "A" ]
+  | 2 -> [ "A"; "B" ]
+  | 3 when kind = Cell.Mux2 -> [ "A"; "B"; "S" ]
+  | 3 -> [ "A"; "B"; "C" ]
+  | _ -> assert false
+
+let make_comb kind drive =
+  let d0, r, cap, width = List.assoc kind comb_params in
+  let d0 = scale_d0 d0 drive
+  and r = scale_r r drive
+  and cap = scale_cap cap drive in
+  let names = input_names kind in
+  let pin_cap name = if name = "S" then cap *. 1.2 else cap in
+  let inputs = List.map (fun name -> Pin.input name ~cap:(pin_cap name)) names in
+  let pins = Array.of_list (inputs @ [ Pin.output "Y" ]) in
+  let out = Array.length pins - 1 in
+  let delay = delay_lut ~d0 ~r ~drive and out_slew = slew_lut ~d0 ~r ~drive in
+  let arc i : Cell.arc = { from_pin = i; to_pin = out; delay; out_slew; test_only = false } in
+  { Cell.name = cell_name kind drive;
+    kind;
+    drive;
+    width = scale_width width drive;
+    pins;
+    arcs = Array.init (List.length names) arc;
+    setup = 0.0;
+    hold = 0.0;
+    sequential = false }
+
+let make_tie kind =
+  { Cell.name = cell_name kind 1;
+    kind;
+    drive = 1;
+    width = 0.8;
+    pins = [| Pin.output "Y" |];
+    arcs = [||];
+    setup = 0.0;
+    hold = 0.0;
+    sequential = false }
+
+let make_filler width suffix =
+  { Cell.name = Printf.sprintf "FILL%d" suffix;
+    kind = Cell.Filler;
+    drive = 1;
+    width;
+    pins = [||];
+    arcs = [||];
+    setup = 0.0;
+    hold = 0.0;
+    sequential = false }
+
+let make_dff drive =
+  let d0 = scale_d0 160.0 drive and r = scale_r 5.5 drive in
+  let pins =
+    [| Pin.input "D" ~cap:(scale_cap 2.2 drive);
+       Pin.input ~role:Pin.Clock "CK" ~cap:1.6;
+       Pin.output "Q" |]
+  in
+  { Cell.name = cell_name Cell.Dff drive;
+    kind = Cell.Dff;
+    drive;
+    width = scale_width 6.5 drive;
+    pins;
+    arcs =
+      [| { from_pin = 1; to_pin = 2;
+           delay = delay_lut ~d0 ~r ~drive;
+           out_slew = slew_lut ~d0 ~r ~drive;
+           test_only = false } |];
+    setup = 95.0;
+    hold = 15.0;
+    sequential = true }
+
+let make_sdff drive =
+  let d0 = scale_d0 175.0 drive and r = scale_r 5.8 drive in
+  let pins =
+    [| Pin.input "D" ~cap:(scale_cap 2.2 drive);
+       Pin.input ~role:Pin.Scan_in "TI" ~cap:2.0;
+       Pin.input ~role:Pin.Scan_enable "TE" ~cap:1.5;
+       Pin.input ~role:Pin.Clock "CK" ~cap:1.6;
+       Pin.output "Q" |]
+  in
+  { Cell.name = cell_name Cell.Sdff drive;
+    kind = Cell.Sdff;
+    drive;
+    width = scale_width 8.0 drive;
+    pins;
+    arcs =
+      [| { from_pin = 3; to_pin = 4;
+           delay = delay_lut ~d0 ~r ~drive;
+           out_slew = slew_lut ~d0 ~r ~drive;
+           test_only = false } |];
+    setup = 105.0;
+    hold = 15.0;
+    sequential = true }
+
+(* The TSFF of Fig. 1. In application mode (TE=TR=0) the cell is transparent
+   from D to Q through the input and output multiplexers, hence the
+   functional D->Q arc (two mux delays). The flip-flop output reaches Q only
+   in test mode, so CK->Q is a test-only arc; likewise the TI->Q flush
+   path. *)
+let make_tsff drive =
+  let r = scale_r 6.0 drive in
+  let app_d0 = scale_d0 130.0 drive in
+  let ckq_d0 = scale_d0 185.0 drive in
+  let pins =
+    [| Pin.input "D" ~cap:(scale_cap 2.2 drive);
+       Pin.input ~role:Pin.Scan_in "TI" ~cap:2.0;
+       Pin.input ~role:Pin.Scan_enable "TE" ~cap:1.5;
+       Pin.input ~role:Pin.Test_reconf "TR" ~cap:1.5;
+       Pin.input ~role:Pin.Clock "CK" ~cap:1.6;
+       Pin.output "Q" |]
+  in
+  let arc ~from_pin ~d0 ~test_only : Cell.arc =
+    { from_pin; to_pin = 5;
+      delay = delay_lut ~d0 ~r ~drive;
+      out_slew = slew_lut ~d0 ~r ~drive;
+      test_only }
+  in
+  { Cell.name = cell_name Cell.Tsff drive;
+    kind = Cell.Tsff;
+    drive;
+    width = scale_width 10.5 drive;
+    pins;
+    arcs =
+      [| arc ~from_pin:0 ~d0:app_d0 ~test_only:false;
+         arc ~from_pin:4 ~d0:ckq_d0 ~test_only:true;
+         arc ~from_pin:1 ~d0:(app_d0 +. 5.0) ~test_only:true |];
+    setup = 110.0;
+    hold = 15.0;
+    sequential = true }
+
+let drives = function
+  | Cell.Clkbuf -> [ 2; 4; 8 ]
+  | Cell.Dff | Cell.Sdff | Cell.Tsff -> [ 1; 2 ]
+  | Cell.Tiehi | Cell.Tielo | Cell.Filler -> [ 1 ]
+  | _ -> [ 1; 2; 4; 8 ]
+
+let build () =
+  let cells = ref [] in
+  let add c = cells := c :: !cells in
+  List.iter
+    (fun (kind, _) -> List.iter (fun d -> add (make_comb kind d)) (drives kind))
+    comb_params;
+  add (make_tie Cell.Tiehi);
+  add (make_tie Cell.Tielo);
+  List.iter (fun d -> add (make_dff d)) (drives Cell.Dff);
+  List.iter (fun d -> add (make_sdff d)) (drives Cell.Sdff);
+  List.iter (fun d -> add (make_tsff d)) (drives Cell.Tsff);
+  add (make_filler 0.4 1);
+  add (make_filler 0.8 2);
+  add (make_filler 1.6 4);
+  let order = List.rev !cells in
+  let table = Hashtbl.create 64 in
+  List.iter (fun (c : Cell.t) -> Hashtbl.replace table c.name c) order;
+  { table; order }
+
+let default = build ()
+
+let by_name t name = Hashtbl.find_opt t.table name
+
+let find_opt t kind ~drive =
+  if kind = Cell.Filler then
+    by_name t (Printf.sprintf "FILL%d" drive)
+  else by_name t (cell_name kind drive)
+
+let find t kind ~drive =
+  match find_opt t kind ~drive with
+  | Some c -> c
+  | None -> raise Not_found
+
+let cells t = t.order
+
+let upsize t (c : Cell.t) =
+  let rec next = function
+    | [] | [ _ ] -> None
+    | d :: (d' :: _ as rest) -> if d = c.drive then Some d' else next rest
+  in
+  match next (drives c.kind) with
+  | None -> None
+  | Some d -> find_opt t c.kind ~drive:d
+
+let fillers t =
+  let all =
+    List.filter (fun (c : Cell.t) -> c.kind = Cell.Filler) t.order
+  in
+  List.sort (fun (a : Cell.t) (b : Cell.t) -> compare b.width a.width) all
+
+let min_drive_strength t kind =
+  match drives kind with
+  | [] -> raise Not_found
+  | d :: _ -> find t kind ~drive:d

@@ -1,0 +1,40 @@
+(** The synthetic 130 nm-class standard-cell library.
+
+    Substitutes for the Philips 130 nm CMOS library used in the paper (see
+    DESIGN.md): every functional kind is characterised at drive strengths
+    X1/X2/X4/X8 with NLDM delay and slew tables, realistic areas and pin
+    capacitances, so that area and delay *ratios* between layouts are
+    meaningful. *)
+
+type t
+
+val default : t
+(** The library singleton (construction is pure and deterministic). *)
+
+val row_height : float
+(** um. *)
+
+val find : t -> Cell.kind -> drive:int -> Cell.t
+(** Raises [Not_found] if the kind/drive combination is not characterised. *)
+
+val find_opt : t -> Cell.kind -> drive:int -> Cell.t option
+
+val by_name : t -> string -> Cell.t option
+
+val cells : t -> Cell.t list
+(** All characterised cells. *)
+
+val drives : Cell.kind -> int list
+(** Drive strengths available for a kind. *)
+
+val upsize : t -> Cell.t -> Cell.t option
+(** The same kind at the next larger drive, if characterised; used to
+    resolve slow nodes (which the paper's experiments deliberately do not
+    do — see §4.4 — but the ablation benches exercise it). *)
+
+val fillers : t -> Cell.t list
+(** Filler cells in decreasing width order, for gap filling (step 4). *)
+
+val min_drive_strength : t -> Cell.kind -> Cell.t
+(** The X1 variant, used when mapping generated netlists (§4.1: s38417 is
+    mapped with minimum drive strength everywhere). *)

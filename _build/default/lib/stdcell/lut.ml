@@ -1,0 +1,79 @@
+type t = {
+  slews : float array;
+  loads : float array;
+  values : float array array;
+}
+
+let check_axis name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty axis");
+  for i = 1 to Array.length a - 1 do
+    if a.(i) <= a.(i - 1) then invalid_arg (name ^ ": axis not increasing")
+  done
+
+let make ~slews ~loads ~values =
+  check_axis "Lut.make slews" slews;
+  check_axis "Lut.make loads" loads;
+  if Array.length values <> Array.length slews then invalid_arg "Lut.make: row count";
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length loads then invalid_arg "Lut.make: column count")
+    values;
+  { slews; loads; values }
+
+let of_model ~slews ~loads ~f =
+  let values =
+    Array.map (fun slew -> Array.map (fun load -> f ~slew ~load) loads) slews
+  in
+  make ~slews ~loads ~values
+
+type lookup = {
+  value : float;
+  extrapolated : bool;
+}
+
+(* Index of the lower cell of the bracketing segment, clamped so that
+   out-of-range queries extrapolate from the border segment. *)
+let segment axis x =
+  let n = Array.length axis in
+  if n = 1 then 0
+  else begin
+    let rec find i = if i >= n - 2 || x < axis.(i + 1) then i else find (i + 1) in
+    if x <= axis.(0) then 0 else find 0
+  end
+
+let axis_fraction axis i x =
+  if Array.length axis = 1 then 0.0
+  else (x -. axis.(i)) /. (axis.(i + 1) -. axis.(i))
+
+let eval t ~slew ~load =
+  let i = segment t.slews slew and j = segment t.loads load in
+  let u = axis_fraction t.slews i slew and v = axis_fraction t.loads j load in
+  let at di dj =
+    let i' = min (i + di) (Array.length t.slews - 1)
+    and j' = min (j + dj) (Array.length t.loads - 1) in
+    t.values.(i').(j')
+  in
+  let v00 = at 0 0 and v01 = at 0 1 and v10 = at 1 0 and v11 = at 1 1 in
+  let value =
+    ((1.0 -. u) *. (((1.0 -. v) *. v00) +. (v *. v01)))
+    +. (u *. (((1.0 -. v) *. v10) +. (v *. v11)))
+  in
+  let extrapolated =
+    slew < t.slews.(0)
+    || slew > t.slews.(Array.length t.slews - 1)
+    || load < t.loads.(0)
+    || load > t.loads.(Array.length t.loads - 1)
+  in
+  { value; extrapolated }
+
+let value t ~slew ~load = (eval t ~slew ~load).value
+
+let corner t = t.values.(0).(0)
+
+let max_load t = t.loads.(Array.length t.loads - 1)
+
+let max_slew t = t.slews.(Array.length t.slews - 1)
+
+let slew_axis_of t = Array.copy t.slews
+
+let load_axis_of t = Array.copy t.loads

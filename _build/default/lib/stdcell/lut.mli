@@ -1,0 +1,45 @@
+(** Two-dimensional non-linear delay model (NLDM) lookup tables.
+
+    Cell delay and output slew are tabulated against input slew (ps) and
+    effective capacitive output load (fF), exactly as in Liberty-style
+    libraries. Lookups inside the table bilinearly interpolate; lookups
+    outside the characterised range extrapolate from the nearest border
+    cells and are flagged, reproducing the "slow node" behaviour the paper
+    describes for PEARL. *)
+
+type t
+
+val make : slews:float array -> loads:float array -> values:float array array -> t
+(** [make ~slews ~loads ~values] with [values.(i).(j)] the table entry for
+    [slews.(i)] and [loads.(j)]. Axes must be strictly increasing and
+    non-empty; dimensions must agree. *)
+
+val of_model :
+  slews:float array ->
+  loads:float array ->
+  f:(slew:float -> load:float -> float) ->
+  t
+(** Characterise a table by sampling a parametric model at the grid points
+    (this is how the synthetic library is built). *)
+
+type lookup = {
+  value : float;
+  extrapolated : bool;  (** true when (slew, load) fell outside the table *)
+}
+
+val eval : t -> slew:float -> load:float -> lookup
+
+val value : t -> slew:float -> load:float -> float
+(** [eval] without the flag. *)
+
+val corner : t -> float
+(** Table entry at minimum slew and minimum load: the intrinsic delay in the
+    paper's decomposition (eq. 3). *)
+
+val max_load : t -> float
+val max_slew : t -> float
+
+val slew_axis_of : t -> float array
+(** Copy of the slew axis (for table export). *)
+
+val load_axis_of : t -> float array

@@ -1,0 +1,30 @@
+type dir =
+  | Input
+  | Output
+
+type role =
+  | Data
+  | Clock
+  | Scan_in
+  | Scan_enable
+  | Test_reconf
+
+type t = {
+  name : string;
+  dir : dir;
+  role : role;
+  cap : float;
+}
+
+let input ?(role = Data) name ~cap = { name; dir = Input; role; cap }
+
+let output name = { name; dir = Output; role = Data; cap = 0.0 }
+
+let is_input p = p.dir = Input
+
+let is_clock p = p.role = Clock
+
+let pp ppf p =
+  Format.fprintf ppf "%s(%s, %.2ffF)" p.name
+    (match p.dir with Input -> "in" | Output -> "out")
+    p.cap

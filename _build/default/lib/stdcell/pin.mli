@@ -1,0 +1,25 @@
+(** Standard-cell pins. *)
+
+type dir =
+  | Input
+  | Output
+
+type role =
+  | Data         (** ordinary logic pin *)
+  | Clock        (** flip-flop clock input *)
+  | Scan_in      (** TI *)
+  | Scan_enable  (** TE *)
+  | Test_reconf  (** TR, the TSFF output-mux select (Fig. 1) *)
+
+type t = {
+  name : string;
+  dir : dir;
+  role : role;
+  cap : float;  (** input pin capacitance, fF; 0.0 for outputs *)
+}
+
+val input : ?role:role -> string -> cap:float -> t
+val output : string -> t
+val is_input : t -> bool
+val is_clock : t -> bool
+val pp : Format.formatter -> t -> unit

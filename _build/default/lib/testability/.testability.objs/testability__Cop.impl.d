@@ -1,0 +1,1 @@
+lib/testability/cop.ml: Array Float Int64 Netlist Stdcell

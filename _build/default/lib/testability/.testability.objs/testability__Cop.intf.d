@@ -1,0 +1,1 @@
+lib/testability/cop.mli: Netlist

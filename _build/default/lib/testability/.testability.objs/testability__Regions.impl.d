@@ -1,0 +1,1 @@
+lib/testability/regions.ml: Array Hashtbl Netlist Option

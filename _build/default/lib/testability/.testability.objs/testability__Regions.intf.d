@@ -1,0 +1,1 @@
+lib/testability/regions.mli: Hashtbl Netlist

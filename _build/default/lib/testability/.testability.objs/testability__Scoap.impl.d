@@ -1,0 +1,1 @@
+lib/testability/scoap.ml: Array Float List Netlist Stdcell

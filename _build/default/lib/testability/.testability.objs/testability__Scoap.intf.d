@@ -1,0 +1,1 @@
+lib/testability/scoap.mli: Netlist

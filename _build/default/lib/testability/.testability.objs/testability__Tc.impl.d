@@ -1,0 +1,1 @@
+lib/testability/tc.ml: Array Cop Float List Netlist

@@ -1,0 +1,1 @@
+lib/testability/tc.mli: Cop Netlist

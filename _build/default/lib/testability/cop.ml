@@ -1,0 +1,79 @@
+module Cmodel = Netlist.Cmodel
+module Cell = Stdcell.Cell
+
+type t = {
+  c : float array;
+  o : float array;
+}
+
+let eval_bits kind bits =
+  let words = Array.map (fun b -> if b then -1L else 0L) bits in
+  Int64.logand (Cell.eval64 kind words) 1L = 1L
+
+(* P(out = 1) = sum over input vectors with f = 1 of the vector probability
+   under independence. *)
+let gate_c c (g : Cmodel.gate) =
+  let arity = Array.length g.g_ins in
+  let total = ref 0.0 in
+  for mask = 0 to (1 lsl arity) - 1 do
+    let bits = Array.init arity (fun i -> mask land (1 lsl i) <> 0) in
+    if eval_bits g.g_kind bits then begin
+      let p = ref 1.0 in
+      Array.iteri
+        (fun i b ->
+          let ci = c.(g.g_ins.(i)) in
+          p := !p *. (if b then ci else 1.0 -. ci))
+        bits;
+      total := !total +. !p
+    end
+  done;
+  !total
+
+(* P(output sensitive to input [pos]) under independence of the others. *)
+let gate_sensitivity c (g : Cmodel.gate) pos =
+  let arity = Array.length g.g_ins in
+  let total = ref 0.0 in
+  for mask = 0 to (1 lsl arity) - 1 do
+    if mask land (1 lsl pos) = 0 then begin
+      let bits = Array.init arity (fun i -> mask land (1 lsl i) <> 0) in
+      let bits' = Array.copy bits in
+      bits'.(pos) <- true;
+      if eval_bits g.g_kind bits <> eval_bits g.g_kind bits' then begin
+        let p = ref 1.0 in
+        Array.iteri
+          (fun i b ->
+            if i <> pos then begin
+              let ci = c.(g.g_ins.(i)) in
+              p := !p *. (if b then ci else 1.0 -. ci)
+            end)
+          bits;
+        total := !total +. !p
+      end
+    end
+  done;
+  !total
+
+let compute (m : Cmodel.t) =
+  let nn = m.Cmodel.num_nets in
+  let c = Array.make nn 0.5 and o = Array.make nn 0.0 in
+  Array.iter (fun (n, v) -> c.(n) <- (if v then 1.0 else 0.0)) m.Cmodel.consts;
+  Array.iter (fun g -> c.(g.Cmodel.g_out) <- gate_c c g) m.Cmodel.gates;
+  Array.iter (fun (n, _) -> o.(n) <- 1.0) m.Cmodel.observes;
+  for gi = Array.length m.Cmodel.gates - 1 downto 0 do
+    let g = m.Cmodel.gates.(gi) in
+    let o_out = o.(g.Cmodel.g_out) in
+    if o_out > 0.0 then
+      Array.iteri
+        (fun pos n ->
+          let through = o_out *. gate_sensitivity c g pos in
+          (* a stem is observable through its most observable branch *)
+          if through > o.(n) then o.(n) <- through)
+        g.Cmodel.g_ins
+  done;
+  { c; o }
+
+let detect_prob0 t n = t.c.(n) *. t.o.(n)
+
+let detect_prob1 t n = (1.0 -. t.c.(n)) *. t.o.(n)
+
+let detectability t n = Float.min (detect_prob0 t n) (detect_prob1 t n)

@@ -1,0 +1,23 @@
+(** COP: controllability/observability probabilities (Brglez 1984).
+
+    [c.(n)] is the probability that net [n] carries 1 under uniform random
+    inputs (signal independence assumed); [o.(n)] the probability that a
+    value change on [n] propagates to some observable site. The product
+    [c * o] (resp. [(1-c) * o]) estimates the per-pattern detection
+    probability of a stuck-at-0 (resp. stuck-at-1) fault on the net — the
+    quantity test point insertion tries to lift. *)
+
+type t = {
+  c : float array;  (** 1-controllability, by net id *)
+  o : float array;  (** observability, by net id *)
+}
+
+val compute : Netlist.Cmodel.t -> t
+
+val detect_prob0 : t -> int -> float
+(** Estimated per-pattern detection probability of stuck-at-0 on the net. *)
+
+val detect_prob1 : t -> int -> float
+
+val detectability : t -> int -> float
+(** [min (detect_prob0) (detect_prob1)]: the net's weakest fault. *)

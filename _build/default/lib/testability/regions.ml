@@ -1,0 +1,49 @@
+module Cmodel = Netlist.Cmodel
+
+type t = {
+  head_of_net : int array;
+  size_of_head : (int, int) Hashtbl.t;
+}
+
+let compute (m : Cmodel.t) =
+  let nn = m.Cmodel.num_nets in
+  let head_of_net = Array.make nn (-1) in
+  (* A net is its own head when it fans out to more than one modelled pin
+     or is observed; otherwise it inherits the head of the single gate input
+     it feeds. Walk gates in reverse topological order so heads are known
+     before their tree inputs are visited. *)
+  let is_head n =
+    m.Cmodel.is_observed.(n)
+    || (match m.Cmodel.fanout.(n) with [] | [ _ ] -> false | _ -> true)
+    || m.Cmodel.fanout.(n) = []  (* dead ends close their own region *)
+  in
+  for n = 0 to nn - 1 do
+    if m.Cmodel.modeled.(n) && is_head n then head_of_net.(n) <- n
+  done;
+  for gi = Array.length m.Cmodel.gates - 1 downto 0 do
+    let g = m.Cmodel.gates.(gi) in
+    let out = g.Cmodel.g_out in
+    if head_of_net.(out) < 0 then
+      (* single-fanout, unobserved: head comes from the consuming gate's
+         output, which reverse order has already resolved *)
+      head_of_net.(out) <- out (* provisional; fixed below if inheritable *);
+    Array.iter
+      (fun n ->
+        if m.Cmodel.modeled.(n) && head_of_net.(n) < 0 then
+          head_of_net.(n) <- head_of_net.(out))
+      g.Cmodel.g_ins
+  done;
+  let size_of_head = Hashtbl.create 256 in
+  Array.iter
+    (fun g ->
+      let h = head_of_net.(g.Cmodel.g_out) in
+      if h >= 0 then
+        Hashtbl.replace size_of_head h
+          (1 + Option.value ~default:0 (Hashtbl.find_opt size_of_head h)))
+    m.Cmodel.gates;
+  { head_of_net; size_of_head }
+
+let heads t =
+  Hashtbl.fold (fun h _ acc -> h :: acc) t.size_of_head []
+
+let size t head = Option.value ~default:0 (Hashtbl.find_opt t.size_of_head head)

@@ -1,0 +1,126 @@
+module Cmodel = Netlist.Cmodel
+module Cell = Stdcell.Cell
+
+type t = {
+  cc0 : float array;
+  cc1 : float array;
+  co : float array;
+}
+
+let infinity_cost = 1e18
+
+(* Costs are taken over input CUBES (partial assignments, inputs may stay
+   X): SCOAP's AND-gate CC0 is min(CC0 inputs) + 1, i.e. the other inputs
+   are left unassigned, so enumerating only full vectors would overcount.
+   Arity <= 3, so 3^arity <= 27 cubes. *)
+let cubes arity =
+  let out = ref [] in
+  let rec go acc = function
+    | 0 -> out := Array.of_list (List.rev acc) :: !out
+    | k -> List.iter (fun v -> go (v :: acc) (k - 1)) [ 0; 1; 2 ]
+  in
+  go [] arity;
+  !out
+
+let cube_cost cc0 cc1 (g : Cmodel.gate) ?(skip = -1) cube =
+  let cost = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      if i <> skip then
+        match v with
+        | 0 -> cost := !cost +. cc0.(g.g_ins.(i))
+        | 1 -> cost := !cost +. cc1.(g.g_ins.(i))
+        | _ -> ())
+    cube;
+  !cost
+
+(* CC_v(y) = 1 + min over cubes forcing the output to v. *)
+let gate_cc cc0 cc1 (g : Cmodel.gate) =
+  let arity = Array.length g.g_ins in
+  let best0 = ref infinity_cost and best1 = ref infinity_cost in
+  List.iter
+    (fun cube ->
+      match Cell.eval3 g.g_kind
+              (if arity > 0 then cube.(0) else 0)
+              (if arity > 1 then cube.(1) else 0)
+              (if arity > 2 then cube.(2) else 0)
+      with
+      | 0 ->
+        let c = cube_cost cc0 cc1 g cube in
+        if c < !best0 then best0 := c
+      | 1 ->
+        let c = cube_cost cc0 cc1 g cube in
+        if c < !best1 then best1 := c
+      | _ -> ())
+    (cubes arity);
+  let clamp c = if c >= infinity_cost then infinity_cost else c +. 1.0 in
+  (clamp !best0, clamp !best1)
+
+(* Observability of input [pos]: the cheapest side cube under which the
+   output is determined by that input alone, plus the output's own
+   observability. *)
+let gate_input_co cc0 cc1 co_out (g : Cmodel.gate) pos =
+  let arity = Array.length g.g_ins in
+  let best = ref infinity_cost in
+  List.iter
+    (fun cube ->
+      if cube.(pos) = 2 then begin
+        let with_v v =
+          let c = Array.copy cube in
+          c.(pos) <- v;
+          Cell.eval3 g.g_kind
+            (if arity > 0 then c.(0) else 0)
+            (if arity > 1 then c.(1) else 0)
+            (if arity > 2 then c.(2) else 0)
+        in
+        let o0 = with_v 0 and o1 = with_v 1 in
+        if o0 <> 2 && o1 <> 2 && o0 <> o1 then begin
+          let c = cube_cost cc0 cc1 g ~skip:pos cube in
+          if c < !best then best := c
+        end
+      end)
+    (cubes arity);
+  if !best >= infinity_cost || co_out >= infinity_cost then infinity_cost
+  else co_out +. !best +. 1.0
+
+let compute (m : Cmodel.t) =
+  let nn = m.Cmodel.num_nets in
+  let cc0 = Array.make nn infinity_cost
+  and cc1 = Array.make nn infinity_cost
+  and co = Array.make nn infinity_cost in
+  Array.iter
+    (fun (n, _) ->
+      cc0.(n) <- 1.0;
+      cc1.(n) <- 1.0)
+    m.Cmodel.sources;
+  Array.iter
+    (fun (n, v) -> if v then cc1.(n) <- 0.0 else cc0.(n) <- 0.0)
+    m.Cmodel.consts;
+  Array.iter
+    (fun g ->
+      let c0, c1 = gate_cc cc0 cc1 g in
+      cc0.(g.Cmodel.g_out) <- min cc0.(g.Cmodel.g_out) c0;
+      cc1.(g.Cmodel.g_out) <- min cc1.(g.Cmodel.g_out) c1)
+    m.Cmodel.gates;
+  Array.iter (fun (n, _) -> co.(n) <- 0.0) m.Cmodel.observes;
+  for gi = Array.length m.Cmodel.gates - 1 downto 0 do
+    let g = m.Cmodel.gates.(gi) in
+    let co_out = co.(g.Cmodel.g_out) in
+    Array.iteri
+      (fun pos n ->
+        let c = gate_input_co cc0 cc1 co_out g pos in
+        if c < co.(n) then co.(n) <- c)
+      g.Cmodel.g_ins
+  done;
+  { cc0; cc1; co }
+
+let hardest_to_control t (m : Cmodel.t) k =
+  let scored = ref [] in
+  for n = 0 to m.Cmodel.num_nets - 1 do
+    if m.Cmodel.modeled.(n) && not m.Cmodel.is_source.(n) then begin
+      let s = Float.max t.cc0.(n) t.cc1.(n) in
+      if s < infinity_cost then scored := (n, s) :: !scored
+    end
+  done;
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) !scored in
+  List.filteri (fun i _ -> i < k) sorted

@@ -1,0 +1,1 @@
+lib/tpi/clocking.ml: Array Hashtbl List Netlist Queue Stdcell

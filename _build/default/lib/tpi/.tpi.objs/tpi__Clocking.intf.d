@@ -1,0 +1,1 @@
+lib/tpi/clocking.mli: Netlist

@@ -1,0 +1,1 @@
+lib/tpi/insert.ml: Array Clocking Netlist Printf Stdcell

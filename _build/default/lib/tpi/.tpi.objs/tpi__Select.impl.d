@@ -1,0 +1,1 @@
+lib/tpi/select.ml: Array Float Hashtbl Insert Int64 List Netlist Option Stdcell Testability

@@ -1,0 +1,1 @@
+lib/tpi/tsff.mli:

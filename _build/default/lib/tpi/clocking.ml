@@ -1,0 +1,72 @@
+module Design = Netlist.Design
+
+let visit_limit = 20_000
+
+type direction =
+  | Backward  (** towards drivers *)
+  | Forward   (** towards sinks *)
+
+(* BFS from a net towards the nearest flip-flop in one direction, walking
+   through combinational cells only. Returns that flip-flop's domain. *)
+let nearest_ff_domain (d : Design.t) ~net ~direction =
+  let seen_inst = Hashtbl.create 64 and seen_net = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.replace seen_net net ();
+  Queue.add net queue;
+  let insts_of_net n =
+    match direction with
+    | Backward ->
+      (match (Design.net d n).Design.driver with
+       | Design.Cell_pin (iid, _) -> [ iid ]
+       | Design.Port_in _ | Design.No_driver -> [])
+    | Forward -> List.map fst (Design.net d n).Design.sinks
+  in
+  let nets_of_inst (i : Design.instance) =
+    let cell = i.Design.cell in
+    let acc = ref [] in
+    Array.iteri
+      (fun pin nid ->
+        if nid >= 0 then begin
+          let is_input = Stdcell.Pin.is_input cell.Stdcell.Cell.pins.(pin) in
+          match direction with
+          | Backward -> if is_input then acc := nid :: !acc
+          | Forward -> if not is_input then acc := nid :: !acc
+        end)
+      i.Design.conns;
+    !acc
+  in
+  let visits = ref 0 in
+  let result = ref None in
+  while !result = None && (not (Queue.is_empty queue)) && !visits < visit_limit do
+    incr visits;
+    let n = Queue.pop queue in
+    List.iter
+      (fun iid ->
+        if !result = None && not (Hashtbl.mem seen_inst iid) then begin
+          Hashtbl.replace seen_inst iid ();
+          let i = Design.inst d iid in
+          if Design.is_ff i then begin
+            if i.Design.domain >= 0 then result := Some i.Design.domain
+          end
+          else
+            List.iter
+              (fun nid ->
+                if not (Hashtbl.mem seen_net nid) then begin
+                  Hashtbl.replace seen_net nid ();
+                  Queue.add nid queue
+                end)
+              (nets_of_inst i)
+        end)
+      (insts_of_net n)
+  done;
+  !result
+
+let domain_for (d : Design.t) ~net =
+  if Array.length d.Design.domains = 0 then
+    invalid_arg "Clocking.domain_for: design has no clock domains";
+  match nearest_ff_domain d ~net ~direction:Backward with
+  | Some dom -> dom
+  | None ->
+    (match nearest_ff_domain d ~net ~direction:Forward with
+     | Some dom -> dom
+     | None -> 0)

@@ -1,0 +1,9 @@
+(** Clock-domain assignment for inserted test points (§3.1 step 2).
+
+    A TSFF spliced into a net must be clocked compatibly with the logic
+    around it; the nearest sequential neighbour's domain is used: first a
+    backward search from the net's driver, then a forward search through
+    its sinks, defaulting to domain 0. *)
+
+val domain_for : Netlist.Design.t -> net:int -> int
+(** Raises [Invalid_argument] if the design has no clock domains. *)

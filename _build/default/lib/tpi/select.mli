@@ -1,0 +1,30 @@
+(** Iterative test point selection (the method of Geuzebroek et al.
+    [3][4] as sketched in §3.1).
+
+    Each iteration recomputes the testability measures (COP detection
+    probabilities, SCOAP costs, fanout-free region sizes) on the current
+    netlist, ranks candidate nets, inserts a batch of TSFFs and repeats, so
+    later points react to the coverage the earlier ones already bought.
+    When no candidate is COP-hard any more the ranking switches to SCOAP
+    (the paper: "the outcome of the analyses determines which TPI method
+    and cost function are used"). *)
+
+type config = {
+  iterations : int;          (** batches; 5 matches the reference tool's default *)
+  blocked_nets : int list;   (** never insert here (critical-path exclusion, §5) *)
+  max_per_region : int;      (** region diversity per batch *)
+  detect_threshold : float;  (** a net is COP-hard below this detectability *)
+}
+
+val default_config : config
+
+type report = {
+  inserted : int list;            (** TSFF instance ids, in insertion order *)
+  nets_chosen : int list;         (** the nets that were split *)
+  cost_before : float;            (** {!Testability.Tc.global_cost} pre-TPI *)
+  cost_after : float;
+  scoap_fallbacks : int;          (** batches ranked by SCOAP instead of COP *)
+}
+
+val run : ?config:config -> Netlist.Design.t -> count:int -> report
+(** Inserts [count] test points into the design in place. *)

@@ -1,0 +1,24 @@
+type mode =
+  | Application
+  | Scan_shift
+  | Scan_capture
+  | Flush
+
+let mode_of ~te ~tr =
+  match (te, tr) with
+  | false, false -> Application
+  | true, true -> Scan_shift
+  | false, true -> Scan_capture
+  | true, false -> Flush
+
+type t = { mutable ff : bool }
+
+let create ?(init = false) () = { ff = init }
+
+let state t = t.ff
+
+let input_mux ~d ~ti ~te = if te then ti else d
+
+let output t ~d ~ti ~te ~tr = if tr then t.ff else input_mux ~d ~ti ~te
+
+let clock t ~d ~ti ~te = t.ff <- input_mux ~d ~ti ~te

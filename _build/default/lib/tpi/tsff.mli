@@ -1,0 +1,36 @@
+(** Behavioural model of the transparent scan flip-flop (Figure 1).
+
+    The cell is an input multiplexer [TE ? TI : D] feeding a D flip-flop,
+    and an output multiplexer [TR ? FF.Q : input-mux-out] driving [Q].
+    The four control combinations give the four operating modes:
+
+    - [TE=0 TR=0] {b application}: Q follows D combinationally (two mux
+      delays); the flip-flop shadows D on every clock.
+    - [TE=1 TR=1] {b scan shift}: Q drives the stored bit; TI is captured.
+    - [TE=0 TR=1] {b scan capture}: the functional value D is captured
+      (observation point) while Q is driven from the flip-flop (control
+      point) — both at once, which is the whole trick.
+    - [TE=1 TR=0] {b flush}: Q follows TI combinationally, testing the
+      path through both muxes. *)
+
+type mode =
+  | Application
+  | Scan_shift
+  | Scan_capture
+  | Flush
+
+val mode_of : te:bool -> tr:bool -> mode
+
+type t
+(** Mutable single-bit TSFF state. *)
+
+val create : ?init:bool -> unit -> t
+
+val state : t -> bool
+(** Current flip-flop contents. *)
+
+val output : t -> d:bool -> ti:bool -> te:bool -> tr:bool -> bool
+(** Combinational Q for the given inputs and current state. *)
+
+val clock : t -> d:bool -> ti:bool -> te:bool -> unit
+(** Rising clock edge: the flip-flop captures the input-mux value. *)

@@ -1,0 +1,25 @@
+(** Growable arrays (OCaml 5.1 has no [Dynarray]); used pervasively for
+    netlist storage where element counts are discovered incrementally. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of length [n] filled with [x]. *)
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> int
+(** [push v x] appends [x] and returns its index. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_array : 'a t -> 'a array
+val of_array : 'a array -> 'a t
+val exists : ('a -> bool) -> 'a t -> bool
+val map_to_array : ('a -> 'b) -> 'a t -> 'b array
+val clear : 'a t -> unit

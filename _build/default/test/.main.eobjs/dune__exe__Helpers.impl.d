@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Circuits Float Netlist Stdcell

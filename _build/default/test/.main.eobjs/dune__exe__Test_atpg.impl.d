@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array Atpg Bytes Circuits Helpers Int64 List Netlist Printf Stdcell Util

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Circuits List Netlist QCheck QCheck_alcotest

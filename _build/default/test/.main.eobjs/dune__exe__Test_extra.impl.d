@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Astring_contains Circuits Float Layout List Netlist Sta Stdcell String Tpi

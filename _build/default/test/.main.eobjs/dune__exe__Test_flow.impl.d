@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Astring_contains Atpg Circuits Flow Helpers Layout Netlist Scan Sta String

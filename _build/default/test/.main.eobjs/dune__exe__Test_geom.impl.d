@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Geom Helpers QCheck QCheck_alcotest

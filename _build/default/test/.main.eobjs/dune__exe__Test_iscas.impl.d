@@ -1,0 +1,1 @@
+test/test_iscas.ml: Alcotest Array Atpg Circuits Flow Netlist Scan Sta

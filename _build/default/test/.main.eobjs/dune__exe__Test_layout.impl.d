@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Circuits Float Geom Hashtbl Helpers Layout List Netlist Option Scan Stdcell String Util

@@ -1,0 +1,1 @@
+test/test_lbist.ml: Alcotest Array Atpg Circuits Int64 Lbist List Netlist Tpi

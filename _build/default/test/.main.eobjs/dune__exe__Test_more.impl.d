@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Astring_contains Atpg Circuits Flow Geom Helpers Layout List Netlist Option Printf Scan Sta Stdcell

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Atpg Bytes Circuits Float Geom Hashtbl Layout List Netlist Printf QCheck QCheck_alcotest Scan Sta Stdcell Tpi Util

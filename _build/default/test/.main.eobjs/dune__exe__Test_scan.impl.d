@@ -1,0 +1,1 @@
+test/test_scan.ml: Alcotest Array Circuits Layout List Netlist Option Printf Scan Stdcell

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Circuits Float Helpers Layout List Netlist Option Sta Stdcell Tpi

@@ -1,0 +1,1 @@
+test/test_stdcell.ml: Alcotest Array Helpers Int64 List QCheck QCheck_alcotest Stdcell

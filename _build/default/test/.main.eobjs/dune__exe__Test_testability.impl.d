@@ -1,0 +1,1 @@
+test/test_testability.ml: Alcotest Array Circuits Helpers List Netlist Stdcell Testability Tpi

@@ -1,0 +1,1 @@
+test/test_timingfix.ml: Alcotest Circuits Float Flow Layout Netlist Scan Sta

@@ -1,0 +1,1 @@
+test/test_tpi.ml: Alcotest Array Circuits Float Fun Helpers List Netlist Stdcell Testability Tpi

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "tpi_repro"
+    [ ("util", Test_util.suite);
+      ("geom", Test_geom.suite);
+      ("stdcell", Test_stdcell.suite);
+      ("netlist", Test_netlist.suite);
+      ("circuits", Test_circuits.suite);
+      ("iscas", Test_iscas.suite);
+      ("lbist", Test_lbist.suite);
+      ("testability", Test_testability.suite);
+      ("tpi", Test_tpi.suite);
+      ("scan", Test_scan.suite);
+      ("atpg", Test_atpg.suite);
+      ("layout", Test_layout.suite);
+      ("sta", Test_sta.suite);
+      ("extra", Test_extra.suite);
+      ("timingfix", Test_timingfix.suite);
+      ("properties", Test_props.suite);
+      ("edge-cases", Test_more.suite);
+      ("flow", Test_flow.suite) ]

@@ -1,0 +1,193 @@
+(* atpg: faults, simulator, PODEM, pattern generation, TDV *)
+module Design = Netlist.Design
+module F = Atpg.Fault
+module C = Netlist.Cmodel
+
+let small_model () =
+  let d = Circuits.Bench.tiny ~ffs:16 ~gates:200 () in
+  (d, C.build d)
+
+let test_universe_collapse () =
+  let _, m = small_model () in
+  let u = F.build m in
+  Alcotest.(check bool) "collapse shrinks" true
+    (Array.length u.F.representatives < Array.length u.F.faults);
+  (* every representative is its own class head *)
+  Array.iter
+    (fun f -> Alcotest.(check int) "self-representative" f.F.fid (F.representative u f).F.fid)
+    u.F.representatives;
+  Alcotest.(check bool) "universe counts infra" true (u.F.infra_faults > 0);
+  Alcotest.(check bool) "total covers all" true
+    (u.F.total >= Array.length u.F.faults)
+
+let test_inverter_collapse () =
+  (* on an inverter, input s-a-0 is equivalent to output s-a-1 *)
+  let d = Design.create "inv" in
+  let _ = Design.add_domain d ~name:"clk" ~period_ps:1000.0
+            ~clock_net:(Design.add_port d "clk" Design.In).Design.pnet in
+  let a = Design.add_port d "a" Design.In in
+  let po = Design.add_port d "po" Design.Out in
+  let g = Design.add_instance d ~name:"g" ~cell:(Helpers.cell Stdcell.Cell.Inv) in
+  let y = Design.add_net d "y" in
+  Design.connect d ~inst:g.Design.id ~pin:0 ~net:a.Design.pnet;
+  Design.connect d ~inst:g.Design.id ~pin:1 ~net:y.Design.nid;
+  Design.connect_out_port d ~port:po.Design.pid ~net:y.Design.nid;
+  let m = C.build d in
+  let u = F.build m in
+  (* a s-a-0 / s-a-1, branch a s-a-0/1, y s-a-0/1 collapse into 2 classes *)
+  Alcotest.(check int) "two classes" 2 (Array.length u.F.representatives)
+
+let test_fsim_against_reference () =
+  (* detect_mask must agree with simulating good and faulty circuits *)
+  let d, m = small_model () in
+  ignore d;
+  let sim = Atpg.Fsim.create m in
+  let rng = Util.Rng.create 11 in
+  let ns = Array.length m.C.sources in
+  let u = F.build m in
+  for _ = 1 to 3 do
+    let words = Array.init ns (fun _ -> Util.Rng.int64 rng) in
+    Atpg.Fsim.set_sources sim words;
+    (* reference: for stem faults, flip the net and fully re-simulate *)
+    let reference_detects (f : F.fault) =
+      match f.F.site with
+      | F.Stem stem ->
+        let good = Array.map (fun (n, _) -> Atpg.Fsim.good sim n) m.C.observes in
+        (* recompute entire circuit with the stem forced *)
+        let values = Array.make m.C.num_nets 0L in
+        Array.iteri (fun k (n, _) -> values.(n) <- words.(k)) m.C.sources;
+        Array.iter (fun (n, v) -> values.(n) <- (if v then -1L else 0L)) m.C.consts;
+        let force () = values.(stem) <- (if f.F.stuck then -1L else 0L) in
+        force ();
+        Array.iter
+          (fun (g : C.gate) ->
+            let ins = Array.map (fun i -> values.(i)) g.C.g_ins in
+            values.(g.C.g_out) <- Stdcell.Cell.eval64 g.C.g_kind ins;
+            force ())
+          m.C.gates;
+        let detected = ref 0L in
+        Array.iteri
+          (fun k (n, _) ->
+            detected := Int64.logor !detected (Int64.logxor values.(n) good.(k)))
+          m.C.observes;
+        !detected
+      | _ -> 0L
+    in
+    let checked = ref 0 in
+    Array.iter
+      (fun (f : F.fault) ->
+        match f.F.site with
+        | F.Stem _ when !checked < 60 ->
+          incr checked;
+          Alcotest.(check int64)
+            (Printf.sprintf "mask agrees (fault %d)" f.F.fid)
+            (reference_detects f) (Atpg.Fsim.detect_mask sim f)
+        | _ -> ())
+      u.F.faults
+  done
+
+let test_podem_cubes_are_valid () =
+  let _, m = small_model () in
+  let u = F.build m in
+  let sim = Atpg.Fsim.create m in
+  let podem = Atpg.Podem.create m in
+  let ns = Array.length m.C.sources in
+  let rng = Util.Rng.create 5 in
+  let tested = ref 0 in
+  Array.iter
+    (fun (f : F.fault) ->
+      if !tested < 80 then
+        match Atpg.Podem.generate podem f with
+        | Atpg.Podem.Test cube ->
+          incr tested;
+          (* any random completion of the cube must detect the fault *)
+          let words = Array.init ns (fun _ -> Util.Rng.int64 rng) in
+          List.iter (fun (s, v) -> words.(s) <- (if v then -1L else 0L)) cube;
+          Atpg.Fsim.set_sources sim words;
+          Alcotest.(check int64) "cube detects in all 64 completions" (-1L)
+            (Atpg.Fsim.detect_mask sim f)
+        | Atpg.Podem.Untestable | Atpg.Podem.Abort -> ())
+    u.F.representatives;
+  Alcotest.(check bool) "tested a decent sample" true (!tested >= 40)
+
+let test_podem_redundant_never_detected () =
+  let _, m = small_model () in
+  let u = F.build m in
+  let sim = Atpg.Fsim.create m in
+  let podem = Atpg.Podem.create m in
+  let ns = Array.length m.C.sources in
+  let rng = Util.Rng.create 17 in
+  let redundant = ref [] in
+  Array.iter
+    (fun (f : F.fault) ->
+      if List.length !redundant < 10 then
+        match Atpg.Podem.generate ~backtrack_limit:3000 podem f with
+        | Atpg.Podem.Untestable -> redundant := f :: !redundant
+        | _ -> ())
+    u.F.representatives;
+  (* 20 random batches must never detect a proven-redundant fault *)
+  for _ = 1 to 20 do
+    let words = Array.init ns (fun _ -> Util.Rng.int64 rng) in
+    Atpg.Fsim.set_sources sim words;
+    List.iter
+      (fun f ->
+        Alcotest.(check int64) "redundant fault never detected" 0L
+          (Atpg.Fsim.detect_mask sim f))
+      !redundant
+  done
+
+let test_patgen_end_to_end () =
+  let _, m = small_model () in
+  let o = Atpg.Patgen.run m in
+  Alcotest.(check bool) "patterns found" true (Atpg.Patgen.num_patterns o > 0);
+  Alcotest.(check bool) "fc sane" true
+    (o.Atpg.Patgen.fault_coverage > 0.85 && o.Atpg.Patgen.fault_coverage <= 1.0);
+  Alcotest.(check bool) "fe >= fc" true
+    (o.Atpg.Patgen.fault_efficiency >= o.Atpg.Patgen.fault_coverage -. 1e-9);
+  (* replaying the final pattern set reaches the claimed coverage *)
+  let u = F.build m in
+  let sim = Atpg.Fsim.create m in
+  let ns = Array.length m.C.sources in
+  let live = ref (Array.to_list u.F.representatives) in
+  List.iter
+    (fun pat ->
+      let words =
+        Array.init ns (fun s -> if Bytes.get pat s = '\001' then -1L else 0L)
+      in
+      Atpg.Fsim.set_sources sim words;
+      live := List.filter (fun f -> Atpg.Fsim.detect_mask sim f = 0L) !live)
+    o.Atpg.Patgen.patterns;
+  let replay_detected =
+    Array.length u.F.representatives - List.length !live
+  in
+  let claimed =
+    Array.fold_left
+      (fun acc (f : F.fault) -> if f.F.status = F.Detected then acc + 1 else acc)
+      0 o.Atpg.Patgen.universe.F.representatives
+  in
+  Alcotest.(check bool) "replay reaches claimed detection" true
+    (replay_detected >= claimed - 2)
+
+let test_patgen_deterministic () =
+  let _, m1 = small_model () in
+  let _, m2 = small_model () in
+  let o1 = Atpg.Patgen.run m1 and o2 = Atpg.Patgen.run m2 in
+  Alcotest.(check int) "same pattern count" (Atpg.Patgen.num_patterns o1)
+    (Atpg.Patgen.num_patterns o2)
+
+let test_tdv_formulas () =
+  (* eq (1) and (2) with n=4 chains, lmax=100, p=10 *)
+  Alcotest.(check int) "tat" ((101 * 10) + 100) (Atpg.Tdv.tat ~lmax:100 ~patterns:10);
+  Alcotest.(check int) "tdv" (2 * 4 * ((101 * 10) + 100))
+    (Atpg.Tdv.tdv ~chains:4 ~lmax:100 ~patterns:10);
+  Helpers.check_approx "reduction" 50.0 (Atpg.Tdv.reduction_pct ~before:200 ~after:100)
+
+let suite =
+  [ Alcotest.test_case "universe collapse" `Quick test_universe_collapse;
+    Alcotest.test_case "inverter collapse" `Quick test_inverter_collapse;
+    Alcotest.test_case "fsim vs reference" `Slow test_fsim_against_reference;
+    Alcotest.test_case "podem cube validity" `Slow test_podem_cubes_are_valid;
+    Alcotest.test_case "podem redundancy" `Slow test_podem_redundant_never_detected;
+    Alcotest.test_case "patgen end-to-end" `Slow test_patgen_end_to_end;
+    Alcotest.test_case "patgen deterministic" `Slow test_patgen_deterministic;
+    Alcotest.test_case "tdv formulas" `Quick test_tdv_formulas ]

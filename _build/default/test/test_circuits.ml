@@ -1,0 +1,77 @@
+(* circuits: profiles and the synthetic generator *)
+module Design = Netlist.Design
+
+let test_determinism () =
+  let a = Circuits.Bench.tiny () and b = Circuits.Bench.tiny () in
+  Alcotest.(check string) "identical netlists"
+    (Netlist.Verilog.to_string a) (Netlist.Verilog.to_string b)
+
+let test_seed_changes_netlist () =
+  let a = Circuits.Bench.tiny ~seed:1 () and b = Circuits.Bench.tiny ~seed:2 () in
+  Alcotest.(check bool) "different netlists" true
+    (Netlist.Verilog.to_string a <> Netlist.Verilog.to_string b)
+
+let test_profile_stats () =
+  let d = Circuits.Bench.tiny ~ffs:30 ~gates:400 () in
+  Netlist.Check.assert_clean d;
+  let s = Netlist.Stats.compute d in
+  Alcotest.(check int) "ff count exact" 30 s.Netlist.Stats.ffs;
+  Alcotest.(check bool) "gates near budget" true
+    (s.Netlist.Stats.combinational >= 350 && s.Netlist.Stats.combinational <= 500);
+  Alcotest.(check bool) "acyclic" true (s.Netlist.Stats.logic_depth > 0)
+
+let test_profile_validation () =
+  let bad = { Circuits.Bench.s38417_profile with Circuits.Profile.num_pis = 0 } in
+  Alcotest.(check bool) "rejected" true
+    (try Circuits.Profile.validate bad; false with Invalid_argument _ -> true)
+
+let test_scaling () =
+  let p = Circuits.Profile.scale 0.5 Circuits.Bench.s38417_profile in
+  Alcotest.(check int) "ffs halved" 818 p.Circuits.Profile.num_ffs;
+  Alcotest.(check bool) "blocks scaled" true (p.Circuits.Profile.hard_blocks >= 1)
+
+let test_fanout_bounded () =
+  let d = Circuits.Bench.tiny ~gates:600 () in
+  let clock_nets =
+    Array.to_list (Array.map (fun (dom : Design.domain) -> dom.Design.clock_net) d.Design.domains)
+  in
+  Design.iter_nets d (fun n ->
+      if not (List.mem n.Design.nid clock_nets) then
+        Alcotest.(check bool) "fanout bounded" true (List.length n.Design.sinks <= 12))
+  [@warning "-26"]
+
+let test_named_circuits_exist () =
+  List.iter
+    (fun (name, _) ->
+      let d = Circuits.Bench.by_name name ~scale:0.05 in
+      Netlist.Check.assert_clean d;
+      Alcotest.(check bool) "has domains" true (Array.length d.Design.domains >= 1))
+    Circuits.Bench.default_scales
+
+let test_pcore_a_two_domains () =
+  let d = Circuits.Bench.pcore_a ~scale:0.05 () in
+  Alcotest.(check int) "two clock domains" 2 (Array.length d.Design.domains);
+  (* both domains actually hold flip-flops *)
+  let counts = Array.make 2 0 in
+  Design.iter_insts d (fun i ->
+      if Design.is_ff i then counts.(i.Design.domain) <- counts.(i.Design.domain) + 1);
+  Alcotest.(check bool) "both populated" true (counts.(0) > 0 && counts.(1) > 0)
+
+let prop_generated_designs_clean =
+  QCheck.Test.make ~name:"random profiles generate clean acyclic designs" ~count:12
+    QCheck.(pair (int_range 1 1000) (int_range 8 40))
+    (fun (seed, ffs) ->
+      let d = Circuits.Bench.tiny ~seed ~ffs ~gates:(ffs * 12) () in
+      Netlist.Check.assert_clean d;
+      (Netlist.Stats.compute d).Netlist.Stats.logic_depth > 0)
+
+let suite =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_netlist;
+    Alcotest.test_case "profile stats" `Quick test_profile_stats;
+    Alcotest.test_case "profile validation" `Quick test_profile_validation;
+    Alcotest.test_case "scaling" `Quick test_scaling;
+    Alcotest.test_case "fanout bounded" `Quick test_fanout_bounded;
+    Alcotest.test_case "named circuits" `Quick test_named_circuits_exist;
+    Alcotest.test_case "pcore_a domains" `Quick test_pcore_a_two_domains;
+    QCheck_alcotest.to_alcotest prop_generated_designs_clean ]

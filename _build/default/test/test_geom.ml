@@ -1,0 +1,57 @@
+(* geom: points and rectangles *)
+module Point = Geom.Point
+module Rect = Geom.Rect
+
+let test_point_ops () =
+  let a = Point.make 1.0 2.0 and b = Point.make 4.0 6.0 in
+  Helpers.check_approx "manhattan" 7.0 (Point.manhattan a b);
+  Helpers.check_approx "euclid" 5.0 (Point.euclid a b);
+  let m = Point.midpoint a b in
+  Helpers.check_approx "mid x" 2.5 m.Point.x;
+  Helpers.check_approx "mid y" 4.0 m.Point.y;
+  let s = Point.add a (Point.scale 2.0 b) in
+  Helpers.check_approx "add/scale" 9.0 s.Point.x
+
+let test_rect_basics () =
+  let r = Rect.of_size ~lx:1.0 ~ly:2.0 ~w:3.0 ~h:4.0 in
+  Helpers.check_approx "area" 12.0 (Rect.area r);
+  Helpers.check_approx "half perimeter" 7.0 (Rect.half_perimeter r);
+  Helpers.check_approx "aspect" (4.0 /. 3.0) (Rect.aspect_ratio r);
+  Alcotest.(check bool) "contains center" true (Rect.contains r (Rect.center r));
+  Alcotest.(check bool) "not contains" false (Rect.contains r (Point.make 0.0 0.0))
+
+let test_rect_invalid () =
+  Alcotest.check_raises "inverted" (Invalid_argument "Rect.make: inverted rectangle")
+    (fun () -> ignore (Rect.make ~lx:2.0 ~ly:0.0 ~ux:1.0 ~uy:1.0))
+
+let test_rect_inset_union () =
+  let r = Rect.of_size ~lx:0.0 ~ly:0.0 ~w:10.0 ~h:10.0 in
+  let i = Rect.inset r 2.0 in
+  Helpers.check_approx "inset area" 36.0 (Rect.area i);
+  let e = Rect.expand i 2.0 in
+  Helpers.check_approx "expand restores" (Rect.area r) (Rect.area e);
+  let u = Rect.union r (Rect.of_size ~lx:5.0 ~ly:5.0 ~w:10.0 ~h:2.0) in
+  Helpers.check_approx "union" 150.0 (Rect.area u)
+
+let prop_manhattan_triangle =
+  let pt = QCheck.(pair (float_range (-100.) 100.) (float_range (-100.) 100.)) in
+  QCheck.Test.make ~name:"manhattan triangle inequality" ~count:300
+    QCheck.(triple pt pt pt)
+    (fun ((ax, ay), (bx, by), (cx, cy)) ->
+      let a = Point.make ax ay and b = Point.make bx by and c = Point.make cx cy in
+      Point.manhattan a c <= Point.manhattan a b +. Point.manhattan b c +. 1e-9)
+
+let prop_euclid_le_manhattan =
+  let pt = QCheck.(pair (float_range (-100.) 100.) (float_range (-100.) 100.)) in
+  QCheck.Test.make ~name:"euclid <= manhattan" ~count:300 QCheck.(pair pt pt)
+    (fun ((ax, ay), (bx, by)) ->
+      let a = Point.make ax ay and b = Point.make bx by in
+      Point.euclid a b <= Point.manhattan a b +. 1e-9)
+
+let suite =
+  [ Alcotest.test_case "point ops" `Quick test_point_ops;
+    Alcotest.test_case "rect basics" `Quick test_rect_basics;
+    Alcotest.test_case "rect invalid" `Quick test_rect_invalid;
+    Alcotest.test_case "rect inset/union" `Quick test_rect_inset_union;
+    QCheck_alcotest.to_alcotest prop_manhattan_triangle;
+    QCheck_alcotest.to_alcotest prop_euclid_le_manhattan ]

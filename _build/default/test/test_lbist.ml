@@ -1,0 +1,90 @@
+(* lbist: LFSR, MISR, pseudo-random BIST, and the TPI coverage story *)
+
+let test_lfsr_maximal_period () =
+  let l = Lbist.Lfsr.create ~width:16 () in
+  (* a maximal 16-bit LFSR has period 65535: no return within 10_000 *)
+  Alcotest.(check bool) "no short cycle" false (Lbist.Lfsr.period_probe l 10_000);
+  (* and it must return at exactly 65535 *)
+  Alcotest.(check bool) "full period" true (Lbist.Lfsr.period_probe l 65535)
+
+let test_lfsr_never_zero () =
+  let l = Lbist.Lfsr.create ~width:16 ~seed:0L () in
+  for _ = 1 to 1000 do
+    ignore (Lbist.Lfsr.step l);
+    Alcotest.(check bool) "state nonzero" true (Lbist.Lfsr.state l <> 0L)
+  done
+
+let test_lfsr_deterministic () =
+  let a = Lbist.Lfsr.create ~width:32 ~seed:7L () in
+  let b = Lbist.Lfsr.create ~width:32 ~seed:7L () in
+  for _ = 1 to 10 do
+    Alcotest.(check int64) "same words" (Lbist.Lfsr.next_word a) (Lbist.Lfsr.next_word b)
+  done
+
+let test_misr_order_sensitivity () =
+  let sig_of words =
+    let m = Lbist.Misr.create ~width:32 () in
+    List.iter (Lbist.Misr.compact m) words;
+    Lbist.Misr.signature m
+  in
+  Alcotest.(check bool) "equal streams equal signatures" true
+    (sig_of [ 1L; 2L; 3L ] = sig_of [ 1L; 2L; 3L ]);
+  Alcotest.(check bool) "order matters" true (sig_of [ 1L; 2L; 3L ] <> sig_of [ 3L; 2L; 1L ]);
+  Alcotest.(check bool) "content matters" true (sig_of [ 1L; 2L; 3L ] <> sig_of [ 1L; 2L; 4L ])
+
+let test_bist_curve_monotone () =
+  let d = Circuits.Bench.tiny ~ffs:24 ~gates:300 () in
+  let m = Netlist.Cmodel.build d in
+  let r = Lbist.Bist.run m ~max_patterns:2048 in
+  Alcotest.(check bool) "has points" true (List.length r.Lbist.Bist.curve >= 2);
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "coverage monotone" true
+        (b.Lbist.Bist.coverage >= a.Lbist.Bist.coverage -. 1e-9);
+      monotone rest
+    | _ -> ()
+  in
+  monotone r.Lbist.Bist.curve;
+  Alcotest.(check bool) "nontrivial coverage" true (r.Lbist.Bist.final_coverage > 0.5)
+
+let test_bist_signature_catches_fault () =
+  let d = Circuits.Bench.tiny ~ffs:24 ~gates:300 () in
+  let m = Netlist.Cmodel.build d in
+  let u = Atpg.Fault.build m in
+  (* pick an easy fault (detected by random patterns) and check the
+     signature diverges; aliasing at 2^-32+ is negligible here *)
+  let sim = Atpg.Fsim.create m in
+  let words = Array.init (Array.length m.Netlist.Cmodel.sources) (fun i -> Int64.of_int (i * 977)) in
+  Atpg.Fsim.set_sources sim words;
+  let easy =
+    Array.to_list u.Atpg.Fault.representatives
+    |> List.find_opt (fun f -> Atpg.Fsim.detect_mask sim f <> 0L)
+  in
+  match easy with
+  | None -> Alcotest.fail "no easy fault?"
+  | Some f ->
+    Alcotest.(check bool) "signature differs" true
+      (Lbist.Bist.signature_differs_under_fault m f ~patterns:2048)
+
+let test_tpi_raises_pseudorandom_coverage () =
+  (* the LBIST story of the paper's section 2: test points lift the
+     saturation level of pseudo-random coverage *)
+  let base =
+    let d = Circuits.Bench.tiny ~ffs:32 ~gates:600 () in
+    (Lbist.Bist.run (Netlist.Cmodel.build d) ~max_patterns:4096).Lbist.Bist.final_coverage
+  in
+  let with_tp =
+    let d = Circuits.Bench.tiny ~ffs:32 ~gates:600 () in
+    ignore (Tpi.Select.run d ~count:6);
+    (Lbist.Bist.run (Netlist.Cmodel.build d) ~max_patterns:4096).Lbist.Bist.final_coverage
+  in
+  Alcotest.(check bool) "coverage rises with test points" true (with_tp > base)
+
+let suite =
+  [ Alcotest.test_case "lfsr period" `Quick test_lfsr_maximal_period;
+    Alcotest.test_case "lfsr nonzero" `Quick test_lfsr_never_zero;
+    Alcotest.test_case "lfsr deterministic" `Quick test_lfsr_deterministic;
+    Alcotest.test_case "misr sensitivity" `Quick test_misr_order_sensitivity;
+    Alcotest.test_case "bist curve" `Quick test_bist_curve_monotone;
+    Alcotest.test_case "bist signature" `Quick test_bist_signature_catches_fault;
+    Alcotest.test_case "tpi raises coverage" `Slow test_tpi_raises_pseudorandom_coverage ]

@@ -1,0 +1,161 @@
+(* netlist: design, levelize, check, stats, cmodel, verilog *)
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+
+let test_mini_construction () =
+  let d = Helpers.mini_design () in
+  Alcotest.(check int) "insts" 3 (Design.num_insts d);
+  Netlist.Check.assert_clean d;
+  let stats = Netlist.Stats.compute d in
+  Alcotest.(check int) "cells" 3 stats.Netlist.Stats.cells;
+  Alcotest.(check int) "ffs" 1 stats.Netlist.Stats.ffs;
+  Alcotest.(check int) "depth" 2 stats.Netlist.Stats.logic_depth
+
+let test_double_driver_rejected () =
+  let d = Design.create "bad" in
+  let a = Design.add_instance d ~name:"a" ~cell:(Helpers.cell Cell.Inv) in
+  let b = Design.add_instance d ~name:"b" ~cell:(Helpers.cell Cell.Inv) in
+  let n = Design.add_net d "n" in
+  Design.connect d ~inst:a.Design.id ~pin:1 ~net:n.Design.nid;
+  Alcotest.(check bool) "raises" true
+    (try
+       Design.connect d ~inst:b.Design.id ~pin:1 ~net:n.Design.nid;
+       false
+     with Invalid_argument _ -> true)
+
+let test_disconnect_restores () =
+  let d = Helpers.mini_design () in
+  let g1 = Design.inst d 0 in
+  let n = g1.Design.conns.(0) in
+  Design.disconnect d ~inst:g1.Design.id ~pin:0;
+  Alcotest.(check int) "pin cleared" (-1) g1.Design.conns.(0);
+  Alcotest.(check bool) "sink removed" true
+    (not (List.mem (g1.Design.id, 0) (Design.net d n).Design.sinks));
+  Design.connect d ~inst:g1.Design.id ~pin:0 ~net:n;
+  Netlist.Check.assert_clean d
+
+let test_split_net () =
+  let d = Helpers.mini_design () in
+  (* split n1 (driven by g1, feeding g2) *)
+  let n1 = (Design.inst d 0).Design.conns.(2) in
+  let before_sinks = (Design.net d n1).Design.sinks in
+  let fresh = Design.split_net d ~net:n1 ~name:"n1_tp" in
+  Alcotest.(check bool) "old net keeps driver" true ((Design.net d n1).Design.driver <> Design.No_driver);
+  Alcotest.(check (list (pair int int))) "sinks moved" before_sinks fresh.Design.sinks;
+  Alcotest.(check (list (pair int int))) "old empty" [] (Design.net d n1).Design.sinks
+
+let test_replace_cell () =
+  let d = Helpers.mini_design () in
+  let ff = Design.inst d 2 in
+  let sdff = Helpers.cell Cell.Sdff in
+  Design.replace_cell d ~inst:ff.Design.id ~cell:sdff ~pin_map:[ (0, 0); (1, 3); (2, 4) ];
+  Alcotest.(check string) "kind swapped" "SDFF" (Cell.kind_name ff.Design.cell.Cell.kind);
+  Alcotest.(check bool) "D preserved" true (ff.Design.conns.(0) >= 0);
+  Alcotest.(check bool) "CK preserved" true (ff.Design.conns.(3) >= 0);
+  Alcotest.(check bool) "Q preserved" true (ff.Design.conns.(4) >= 0);
+  Alcotest.(check int) "TI open" (-1) ff.Design.conns.(1)
+
+let test_levelize_order () =
+  let d = Circuits.Bench.tiny () in
+  let lv = Netlist.Levelize.compute d in
+  Alcotest.(check bool) "has depth" true (Netlist.Levelize.depth lv > 0);
+  (* every combinational gate's level exceeds all its input net levels *)
+  Array.iter
+    (fun iid ->
+      let i = Design.inst d iid in
+      Array.iteri
+        (fun pin nid ->
+          if nid >= 0 && Stdcell.Pin.is_input i.Design.cell.Cell.pins.(pin) then
+            Alcotest.(check bool) "level ordering" true
+              (lv.Netlist.Levelize.level_of_inst.(iid)
+               > lv.Netlist.Levelize.level_of_net.(nid) - 1))
+        i.Design.conns)
+    lv.Netlist.Levelize.order
+
+let test_levelize_detects_cycle () =
+  let d = Design.create "loop" in
+  let a = Design.add_instance d ~name:"a" ~cell:(Helpers.cell Cell.Inv) in
+  let b = Design.add_instance d ~name:"b" ~cell:(Helpers.cell Cell.Inv) in
+  let n1 = Design.add_net d "n1" and n2 = Design.add_net d "n2" in
+  Design.connect d ~inst:a.Design.id ~pin:0 ~net:n2.Design.nid;
+  Design.connect d ~inst:a.Design.id ~pin:1 ~net:n1.Design.nid;
+  Design.connect d ~inst:b.Design.id ~pin:0 ~net:n1.Design.nid;
+  Design.connect d ~inst:b.Design.id ~pin:1 ~net:n2.Design.nid;
+  Alcotest.(check bool) "cycle detected" true
+    (try
+       ignore (Netlist.Levelize.compute d);
+       false
+     with Netlist.Levelize.Combinational_loop _ -> true)
+
+let test_check_flags_floating () =
+  let d = Design.create "float" in
+  let a = Design.add_instance d ~name:"a" ~cell:(Helpers.cell Cell.Nand2) in
+  let n = Design.add_net d "n" in
+  Design.connect d ~inst:a.Design.id ~pin:2 ~net:n.Design.nid;
+  let vs = Netlist.Check.run d in
+  Alcotest.(check bool) "floating inputs reported" true
+    (List.exists (function Netlist.Check.Floating_input _ -> true | _ -> false) vs)
+
+let test_verilog_roundtrip_mini () =
+  let d = Helpers.mini_design () in
+  let s = Netlist.Verilog.to_string d in
+  let d' = Netlist.Verilog.parse s in
+  Netlist.Check.assert_clean d';
+  Alcotest.(check int) "insts" (Design.num_insts d) (Design.num_insts d');
+  Alcotest.(check int) "domains" 1 (Array.length d'.Design.domains);
+  let s' = Netlist.Verilog.to_string d' in
+  Alcotest.(check string) "stable fixpoint" s s'
+
+let test_verilog_roundtrip_tiny () =
+  let d = Circuits.Bench.tiny () in
+  let d' = Netlist.Verilog.parse (Netlist.Verilog.to_string d) in
+  Netlist.Check.assert_clean d';
+  let s1 = Netlist.Stats.compute d and s2 = Netlist.Stats.compute d' in
+  Alcotest.(check int) "cells survive" s1.Netlist.Stats.cells s2.Netlist.Stats.cells;
+  Alcotest.(check int) "ffs survive" s1.Netlist.Stats.ffs s2.Netlist.Stats.ffs
+
+let test_verilog_parse_error () =
+  Alcotest.(check bool) "unknown cell rejected" true
+    (try
+       ignore (Netlist.Verilog.parse "module m (a); input a; BOGUS u (.A(a)); endmodule");
+       false
+     with Netlist.Verilog.Parse_error _ -> true)
+
+let test_cmodel_structure () =
+  let d = Circuits.Bench.tiny () in
+  let m = Netlist.Cmodel.build d in
+  (* sources = PIs (minus clock) + FF outputs *)
+  let stats = Netlist.Stats.compute d in
+  Alcotest.(check bool) "sources include ffs" true
+    (Array.length m.Netlist.Cmodel.sources >= stats.Netlist.Stats.ffs);
+  (* every gate's inputs precede it (levels ascend along the array) *)
+  Array.iter
+    (fun (g : Netlist.Cmodel.gate) ->
+      Array.iter
+        (fun inn ->
+          let gi = m.Netlist.Cmodel.driver_gate.(inn) in
+          if gi >= 0 then
+            Alcotest.(check bool) "topological" true
+              (m.Netlist.Cmodel.gates.(gi).Netlist.Cmodel.g_level < g.Netlist.Cmodel.g_level
+               || m.Netlist.Cmodel.gates.(gi).Netlist.Cmodel.g_level + 1
+                  = g.Netlist.Cmodel.g_level))
+        g.Netlist.Cmodel.g_ins)
+    m.Netlist.Cmodel.gates;
+  (* observed nets are exactly PO bindings and FF D nets *)
+  Array.iter
+    (fun (n, _) -> Alcotest.(check bool) "observe marked" true m.Netlist.Cmodel.is_observed.(n))
+    m.Netlist.Cmodel.observes
+
+let suite =
+  [ Alcotest.test_case "mini construction" `Quick test_mini_construction;
+    Alcotest.test_case "double driver" `Quick test_double_driver_rejected;
+    Alcotest.test_case "disconnect" `Quick test_disconnect_restores;
+    Alcotest.test_case "split net" `Quick test_split_net;
+    Alcotest.test_case "replace cell" `Quick test_replace_cell;
+    Alcotest.test_case "levelize order" `Quick test_levelize_order;
+    Alcotest.test_case "levelize cycle" `Quick test_levelize_detects_cycle;
+    Alcotest.test_case "check floating" `Quick test_check_flags_floating;
+    Alcotest.test_case "verilog mini roundtrip" `Quick test_verilog_roundtrip_mini;
+    Alcotest.test_case "verilog tiny roundtrip" `Quick test_verilog_roundtrip_tiny;
+    Alcotest.test_case "verilog parse error" `Quick test_verilog_parse_error;
+    Alcotest.test_case "cmodel structure" `Quick test_cmodel_structure ]

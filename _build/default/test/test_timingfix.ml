@@ -1,0 +1,29 @@
+(* flow.Timingfix: the paper's section 5 area-for-delay trade *)
+
+let test_timing_fix_trades_area_for_delay () =
+  let d = Circuits.Bench.tiny ~ffs:60 ~gates:900 () in
+  ignore (Scan.Replace.run d);
+  let fp = Layout.Floorplan.create ~utilization:0.85 d in
+  let pl = Layout.Place.run d fp in
+  let r = Flow.Timingfix.run pl in
+  Alcotest.(check bool) "upsized something" true (r.Flow.Timingfix.upsized_cells > 0);
+  Alcotest.(check bool) "delay improves" true
+    (r.Flow.Timingfix.t_cp_after < r.Flow.Timingfix.t_cp_before);
+  Alcotest.(check bool) "area grows" true
+    (r.Flow.Timingfix.cell_area_after > r.Flow.Timingfix.cell_area_before);
+  Netlist.Check.assert_clean d
+
+let test_timing_fix_converges () =
+  let d = Circuits.Bench.tiny ~ffs:40 ~gates:500 () in
+  let fp = Layout.Floorplan.create ~utilization:0.85 d in
+  let pl = Layout.Place.run d fp in
+  let r = Flow.Timingfix.run ~max_rounds:10 pl in
+  Alcotest.(check bool) "bounded rounds" true (r.Flow.Timingfix.rounds <= 10);
+  Alcotest.(check bool) "sta coherent" true
+    (match r.Flow.Timingfix.sta.Sta.Analysis.worst with
+     | Some p -> Float.abs (p.Sta.Analysis.t_cp -. r.Flow.Timingfix.t_cp_after) < 1e-6
+     | None -> false)
+
+let suite =
+  [ Alcotest.test_case "area-for-delay" `Quick test_timing_fix_trades_area_for_delay;
+    Alcotest.test_case "converges" `Quick test_timing_fix_converges ]

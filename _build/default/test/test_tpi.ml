@@ -1,0 +1,131 @@
+(* tpi: TSFF model (Figure 1), insertion, selection, clocking *)
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+module Tsff = Tpi.Tsff
+
+(* exhaustive check of the TSFF against its gate-level definition:
+   input mux (TE ? TI : D) -> FF; output mux (TR ? FF.Q : input mux) *)
+let test_tsff_exhaustive () =
+  List.iter
+    (fun state ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun ti ->
+              List.iter
+                (fun te ->
+                  List.iter
+                    (fun tr ->
+                      let t = Tsff.create ~init:state () in
+                      let imux = if te then ti else d in
+                      let expected_q = if tr then state else imux in
+                      Alcotest.(check bool) "combinational Q" expected_q
+                        (Tsff.output t ~d ~ti ~te ~tr);
+                      Tsff.clock t ~d ~ti ~te;
+                      Alcotest.(check bool) "FF captures input mux" imux (Tsff.state t))
+                    [ false; true ])
+                [ false; true ])
+            [ false; true ])
+        [ false; true ])
+    [ false; true ]
+
+let test_tsff_modes () =
+  Alcotest.(check bool) "application" true (Tsff.mode_of ~te:false ~tr:false = Tsff.Application);
+  Alcotest.(check bool) "shift" true (Tsff.mode_of ~te:true ~tr:true = Tsff.Scan_shift);
+  Alcotest.(check bool) "capture" true (Tsff.mode_of ~te:false ~tr:true = Tsff.Scan_capture);
+  Alcotest.(check bool) "flush" true (Tsff.mode_of ~te:true ~tr:false = Tsff.Flush)
+
+(* the paper: in capture mode the TSFF is observation point AND control
+   point at once *)
+let test_tsff_capture_dual_role () =
+  let t = Tsff.create ~init:true () in
+  (* control: Q driven from the stored bit, independent of D *)
+  Alcotest.(check bool) "controls" true (Tsff.output t ~d:false ~ti:false ~te:false ~tr:true);
+  (* observation: the functional D value lands in the FF *)
+  Tsff.clock t ~d:false ~ti:true ~te:false;
+  Alcotest.(check bool) "observes D" false (Tsff.state t)
+
+let test_insert_point_structure () =
+  let d = Helpers.mini_design () in
+  let n1 = (Design.inst d 0).Design.conns.(2) in
+  let old_sinks = (Design.net d n1).Design.sinks in
+  let tp = Tpi.Insert.insert_point d ~net:n1 ~index:0 in
+  Netlist.Check.assert_clean d;
+  Alcotest.(check string) "is tsff" "TSFF" (Cell.kind_name tp.Design.cell.Cell.kind);
+  (* the TSFF reads the old net and drives the old sinks *)
+  Alcotest.(check (list (pair int int))) "old net now feeds only the TSFF"
+    [ (tp.Design.id, 0) ] (Design.net d n1).Design.sinks;
+  let q_net = Design.net_of_output d tp in
+  Alcotest.(check (list (pair int int))) "old sinks moved to TSFF output"
+    old_sinks (Design.net d q_net).Design.sinks;
+  Alcotest.(check int) "clock domain assigned" 0 tp.Design.domain;
+  (* TE/TR wired to the global test controls *)
+  Alcotest.(check bool) "test_se exists" true (Design.find_port d "test_se" <> None);
+  Alcotest.(check bool) "test_tr exists" true (Design.find_port d "test_tr" <> None)
+
+let test_insert_rejects_undriven () =
+  let d = Design.create "x" in
+  let _ = Design.add_domain d ~name:"clk" ~period_ps:1000.0
+            ~clock_net:(Design.add_port d "clk" Design.In).Design.pnet in
+  let n = Design.add_net d "floating" in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Tpi.Insert.insert_point d ~net:n.Design.nid ~index:0); false
+     with Invalid_argument _ -> true)
+
+let test_select_respects_count_and_blocked () =
+  let d = Circuits.Bench.tiny ~gates:400 () in
+  let m = Netlist.Cmodel.build d in
+  (* block every net: selection must insert nothing *)
+  let all_nets = List.init m.Netlist.Cmodel.num_nets Fun.id in
+  let config = { Tpi.Select.default_config with Tpi.Select.blocked_nets = all_nets } in
+  let rep = Tpi.Select.run ~config d ~count:5 in
+  Alcotest.(check int) "all blocked -> none inserted" 0 (List.length rep.Tpi.Select.inserted);
+  (* unblocked: exactly the requested count *)
+  let d2 = Circuits.Bench.tiny ~gates:400 () in
+  let rep2 = Tpi.Select.run d2 ~count:5 in
+  Alcotest.(check int) "count honoured" 5 (List.length rep2.Tpi.Select.inserted);
+  Netlist.Check.assert_clean d2
+
+let test_select_targets_hard_nets () =
+  let d = Circuits.Bench.tiny ~gates:500 () in
+  let m = Netlist.Cmodel.build d in
+  let cop = Testability.Cop.compute m in
+  let tc = Testability.Tc.compute m cop in
+  let rep = Tpi.Select.run d ~count:3 in
+  Alcotest.(check int) "requested count inserted" 3 (List.length rep.Tpi.Select.inserted);
+  if rep.Tpi.Select.scoap_fallbacks = 0 then begin
+    (* insertion sites are region heads, so individual sites may read easy;
+       at least one must be a genuinely hard net *)
+    let hard_chosen =
+      List.filter
+        (fun n ->
+          Float.min tc.Testability.Tc.detect0.(n) tc.Testability.Tc.detect1.(n) < 0.05)
+        rep.Tpi.Select.nets_chosen
+    in
+    Alcotest.(check bool) "some chosen nets were hard" true (hard_chosen <> [])
+  end
+
+let test_clocking_follows_neighbourhood () =
+  let d = Circuits.Bench.pcore_a ~scale:0.05 () in
+  (* every FF D net should resolve to that FF's own domain via backward search *)
+  let checked = ref 0 in
+  Design.iter_insts d (fun i ->
+      if Design.is_ff i && !checked < 20 then begin
+        let q = Design.net_of_output d i in
+        if q >= 0 && (Design.net d q).Design.sinks <> [] then begin
+          incr checked;
+          let dom = Tpi.Clocking.domain_for d ~net:q in
+          Alcotest.(check bool) "domain valid" true
+            (dom >= 0 && dom < Array.length d.Design.domains)
+        end
+      end)
+
+let suite =
+  [ Alcotest.test_case "tsff exhaustive" `Quick test_tsff_exhaustive;
+    Alcotest.test_case "tsff modes" `Quick test_tsff_modes;
+    Alcotest.test_case "tsff capture dual role" `Quick test_tsff_capture_dual_role;
+    Alcotest.test_case "insert structure" `Quick test_insert_point_structure;
+    Alcotest.test_case "insert undriven" `Quick test_insert_rejects_undriven;
+    Alcotest.test_case "select count/blocked" `Quick test_select_respects_count_and_blocked;
+    Alcotest.test_case "select targets hard" `Quick test_select_targets_hard_nets;
+    Alcotest.test_case "clocking" `Quick test_clocking_follows_neighbourhood ]

@@ -1,0 +1,83 @@
+(* util: Vec and Rng *)
+module Vec = Util.Vec
+module Rng = Util.Rng
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Alcotest.(check int) "push returns index" i (Vec.push v (i * 2))
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 84 (Vec.get v 42);
+  Vec.set v 42 7;
+  Alcotest.(check int) "set" 7 (Vec.get v 42)
+
+let test_vec_bounds () =
+  let v = Vec.make 3 0 in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 3));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set") (fun () -> Vec.set v (-1) 0)
+
+let test_vec_iter_fold () =
+  let v = Vec.of_array [| 1; 2; 3; 4 |] in
+  Alcotest.(check int) "fold" 10 (Vec.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check int) "iteri count" 4 (List.length !acc);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_differs_by_seed () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 32 do
+    if Rng.int a 1_000_000 = Rng.int b 1_000_000 then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split produces values" true (Rng.int b 100 >= 0)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_float_in_bounds =
+  QCheck.Test.make ~name:"Rng.float stays in bounds" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1000.0))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng bound in
+      v >= 0.0 && v < bound)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 1 40) int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      let before = List.sort compare (Array.to_list a) in
+      Rng.shuffle (Rng.create seed) a;
+      List.sort compare (Array.to_list a) = before)
+
+let suite =
+  [ Alcotest.test_case "vec push/get" `Quick test_vec_push_get;
+    Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+    Alcotest.test_case "vec iter/fold" `Quick test_vec_iter_fold;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seed dependence" `Quick test_rng_differs_by_seed;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    QCheck_alcotest.to_alcotest prop_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_float_in_bounds;
+    QCheck_alcotest.to_alcotest prop_shuffle_permutation ]

@@ -1,5 +1,6 @@
 (* Command-line driver for the reproduction: run circuits through the
-   Figure-2 flow and print the paper's tables. *)
+   Figure-2 flow and print the paper's tables, plus a fault-injection
+   selftest of the flow guards. *)
 
 open Cmdliner
 
@@ -35,17 +36,56 @@ let lib_arg =
   let doc = "Export the standard-cell library as a Liberty (.lib) file." in
   Arg.(value & opt (some string) None & info [ "liberty" ] ~docv:"FILE" ~doc)
 
-let run circuit scale levels atpg tables svg_dir def_file lib_file =
+let policy_arg =
+  let doc =
+    "Stage-failure policy: fail-fast stops the sweep at the first failed layout, \
+     recover retries seed-sensitive stages with a reseeded RNG, degrade keeps going \
+     and flags the failed level as a degraded row."
+  in
+  let parse s =
+    match Core.Guard.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg ("unknown policy " ^ s ^ " (fail-fast|recover|degrade)"))
+  in
+  let policy_conv =
+    Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Core.Guard.policy_name p))
+  in
+  Arg.(value & opt policy_conv Core.Guard.Fail_fast & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let retries_arg =
+  let doc = "Retry budget for --policy recover." in
+  Arg.(value & opt int Core.Guard.default_retries & info [ "retries" ] ~docv:"N" ~doc)
+
+let run circuit scale levels atpg tables svg_dir def_file lib_file policy retries =
   (match lib_file with
    | Some path ->
      Core.Liberty.write_file path Core.Library.default;
      Printf.printf "wrote %s\n" path
    | None -> ());
-  let rows = Core.Experiment.sweep ~with_atpg:atpg ~tp_levels:levels ?scale circuit in
-  if List.mem 1 tables && atpg then print_string (Core.Report.table1 rows);
-  if List.mem 2 tables then print_string (Core.Report.table2 rows);
-  if List.mem 3 tables then print_string (Core.Report.table3 rows);
-  print_string (Core.Report.summary rows);
+  let spec = Core.Experiment.spec_for ?scale circuit in
+  (* guarded sweep: under fail-fast the sweep stops at the first failed
+     level; under recover/degrade every level is attempted and failures
+     become degraded rows *)
+  let grows =
+    let rec loop acc = function
+      | [] -> List.rev acc
+      | tp_pct :: rest ->
+        let g =
+          Core.Experiment.run_one_guarded ~policy ~retries ~with_atpg:atpg spec ~tp_pct
+        in
+        let failed = g.Core.Experiment.g_report.Core.Guard.result = None in
+        if failed && policy = Core.Guard.Fail_fast then List.rev (g :: acc)
+        else loop (g :: acc) rest
+    in
+    loop [] levels
+  in
+  let rows = Core.Experiment.completed_rows grows in
+  if rows <> [] then begin
+    if List.mem 1 tables && atpg then print_string (Core.Report.table1 rows);
+    if List.mem 2 tables then print_string (Core.Report.table2 rows);
+    if List.mem 3 tables then print_string (Core.Report.table3 rows)
+  end;
+  print_string (Core.Report.guarded_summary grows);
   (match (svg_dir, rows) with
    | Some dir, row :: _ ->
      let r = row.Core.Experiment.result in
@@ -62,12 +102,47 @@ let run circuit scale levels atpg tables svg_dir def_file lib_file =
    | Some path, row :: _ ->
      Core.Defout.write_file path row.Core.Experiment.result.Core.Pipeline.placement;
      Printf.printf "wrote %s\n" path
-   | _ -> ())
+   | _ -> ());
+  match (policy, Core.Experiment.degraded_rows grows) with
+  | Core.Guard.Fail_fast, g :: _ ->
+    (match g.Core.Experiment.g_report.Core.Guard.error with
+     | Some e -> Format.eprintf "%a@." Core.Guard.pp_stage_error e
+     | None -> ());
+    1
+  | _ -> 0
+
+let selftest_ffs_arg =
+  let doc = "Flip-flops in the injection-target circuit." in
+  Arg.(value & opt int 40 & info [ "ffs" ] ~docv:"N" ~doc)
+
+let selftest_gates_arg =
+  let doc = "Gates in the injection-target circuit." in
+  Arg.(value & opt int 500 & info [ "gates" ] ~docv:"N" ~doc)
+
+let selftest ffs gates =
+  Printf.printf "fault-injection matrix (%d classes):\n" (List.length Core.Inject.all);
+  let outcomes = Core.Inject.selftest ~ffs ~gates () in
+  List.iter (fun o -> Format.printf "  %a@." Core.Inject.pp_outcome o) outcomes;
+  let recover_ok = Core.Inject.recover_converges () in
+  let degrade_ok = Core.Inject.degrade_keeps_partials () in
+  Printf.printf "policy recover: placement crash reseeds and converges: %s\n"
+    (if recover_ok then "ok" else "FAILED");
+  Printf.printf "policy degrade: extraction crash keeps placed/routed partials: %s\n"
+    (if degrade_ok then "ok" else "FAILED");
+  let detected = List.length (List.filter (fun o -> o.Core.Inject.detected) outcomes) in
+  Printf.printf "%d/%d classes detected and classified\n" detected (List.length outcomes);
+  if Core.Inject.all_detected outcomes && recover_ok && degrade_ok then 0 else 1
+
+let run_term =
+  Term.(const run $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ tables_arg
+        $ svg_arg $ def_arg $ lib_arg $ policy_arg $ retries_arg)
+
+let selftest_cmd =
+  let doc = "Run the guarded-flow fault-injection selftest (10 mutation classes)." in
+  Cmd.v (Cmd.info "selftest" ~doc) Term.(const selftest $ selftest_ffs_arg $ selftest_gates_arg)
 
 let cmd =
   let doc = "Reproduce 'Impact of Test Point Insertion on Silicon Area and Timing during Layout' (DATE 2004)" in
-  Cmd.v (Cmd.info "tpi_flow" ~doc)
-    Term.(const run $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ tables_arg
-          $ svg_arg $ def_arg $ lib_arg)
+  Cmd.group ~default:run_term (Cmd.info "tpi_flow" ~doc) [ selftest_cmd ]
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -43,6 +43,9 @@ module Iscas = Circuits.Iscas
 module Pipeline = Flow.Pipeline
 module Experiment = Flow.Experiment
 module Report = Flow.Report
+module Guard = Flow.Guard
+module Inject = Flow.Inject
+module Layout_check = Layout.Check
 module Lfsr = Lbist.Lfsr
 module Misr = Lbist.Misr
 module Bist = Lbist.Bist

@@ -45,6 +45,40 @@ let sweep ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit
   let spec = spec_for ?scale circuit in
   List.map (fun tp_pct -> run_one ~with_atpg spec ~tp_pct) tp_levels
 
+type guarded_row = {
+  g_spec : spec;
+  g_tp_pct : int;
+  g_report : Guard.report;
+}
+
+let run_one_guarded ?policy ?retries ?tamper ?(with_atpg = true) spec ~tp_pct =
+  let report =
+    Guard.run ?policy ?retries ?tamper ~circuit:spec.circuit
+      ~options:(options_of spec ~with_atpg ~tp_pct)
+      (fun () -> Circuits.Bench.by_name spec.circuit ~scale:spec.scale)
+  in
+  { g_spec = spec; g_tp_pct = tp_pct; g_report = report }
+
+(* guarded sweep: a failed level becomes a degraded row instead of killing
+   the whole experiment matrix *)
+let sweep_guarded ?policy ?retries ?tamper ?(with_atpg = true)
+    ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
+  let spec = spec_for ?scale circuit in
+  List.map
+    (fun tp_pct -> run_one_guarded ?policy ?retries ?tamper ~with_atpg spec ~tp_pct)
+    tp_levels
+
+let completed_rows grows =
+  List.filter_map
+    (fun g ->
+      match g.g_report.Guard.result with
+      | Some result -> Some { spec = g.g_spec; tp_pct = g.g_tp_pct; result }
+      | None -> None)
+    grows
+
+let degraded_rows grows =
+  List.filter (fun g -> g.g_report.Guard.result = None) grows
+
 (* §5: exclude nets on near-critical paths from TPI. The baseline layout's
    STA identifies the worst paths per domain; nets within the slack margin
    of them are off limits for insertion. *)

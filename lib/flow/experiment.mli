@@ -31,6 +31,44 @@ val sweep :
   row list
 (** Default levels [0;1;2;3;4;5]. *)
 
+(** {1 Guarded experiments}
+
+    Same matrix, but each level runs under {!Guard}: a stage failure in one
+    layout becomes a degraded row (reported by {!Report.guarded_summary})
+    instead of aborting the sweep. *)
+
+type guarded_row = {
+  g_spec : spec;
+  g_tp_pct : int;
+  g_report : Guard.report;
+}
+
+val run_one_guarded :
+  ?policy:Guard.policy ->
+  ?retries:int ->
+  ?tamper:(attempt:int -> Guard.stage -> Pipeline.state -> unit) ->
+  ?with_atpg:bool ->
+  spec ->
+  tp_pct:int ->
+  guarded_row
+
+val sweep_guarded :
+  ?policy:Guard.policy ->
+  ?retries:int ->
+  ?tamper:(attempt:int -> Guard.stage -> Pipeline.state -> unit) ->
+  ?with_atpg:bool ->
+  ?tp_levels:int list ->
+  ?scale:float ->
+  string ->
+  guarded_row list
+(** Never raises on a stage failure; [tamper] is the chaos/fault-injection
+    hook threaded through to {!Guard.run}. *)
+
+val completed_rows : guarded_row list -> row list
+(** The levels whose flow completed, as plain rows for the table renderers. *)
+
+val degraded_rows : guarded_row list -> guarded_row list
+
 val blocked_critical_nets : spec -> tp_pct:int -> slack_margin_ps:float -> row
 (** The §5 ablation: run a baseline layout + STA first, collect nets on
     paths within [slack_margin_ps] of the critical path, then insert test

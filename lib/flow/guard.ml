@@ -1,0 +1,246 @@
+module P = Pipeline
+
+type stage =
+  | Tpi_scan
+  | Placement
+  | Reorder_atpg
+  | Eco_cts_route
+  | Extract
+  | Sta
+
+let all_stages = [ Tpi_scan; Placement; Reorder_atpg; Eco_cts_route; Extract; Sta ]
+
+let stage_name = function
+  | Tpi_scan -> "tpi-scan"
+  | Placement -> "place"
+  | Reorder_atpg -> "reorder-atpg"
+  | Eco_cts_route -> "eco-cts-route"
+  | Extract -> "extract"
+  | Sta -> "sta"
+
+type stage_error = {
+  stage : stage;
+  circuit : string;
+  detail : string;
+}
+
+exception Stage_failure of stage_error
+
+let () =
+  Printexc.register_printer (function
+    | Stage_failure e ->
+      Some
+        (Printf.sprintf "Flow.Guard.Stage_failure(%s, %s: %s)" (stage_name e.stage)
+           e.circuit e.detail)
+    | _ -> None)
+
+type policy =
+  | Fail_fast
+  | Recover
+  | Degrade
+
+let policy_name = function
+  | Fail_fast -> "fail-fast"
+  | Recover -> "recover"
+  | Degrade -> "degrade"
+
+let policy_of_string = function
+  | "fail-fast" | "fail_fast" | "failfast" -> Some Fail_fast
+  | "recover" -> Some Recover
+  | "degrade" -> Some Degrade
+  | _ -> None
+
+type stage_status =
+  | Completed of float
+  | Failed of float
+  | Skipped
+
+type report = {
+  circuit : string;
+  policy : policy;
+  attempts : int;
+  stage_log : (stage * stage_status) list;
+  error : stage_error option;
+  state : P.state option;
+  result : P.result option;
+}
+
+let succeeded r = r.error = None
+
+let outcome r =
+  match (r.result, r.error) with
+  | Some res, _ -> Ok res
+  | None, Some e -> Error e
+  | None, None ->
+    Error { stage = Tpi_scan; circuit = r.circuit; detail = "internal: empty report" }
+
+let completed_stages r =
+  List.filter_map
+    (fun (s, st) -> match st with Completed _ -> Some s | _ -> None)
+    r.stage_log
+
+(* seed-sensitive stages: placement is seeded directly; scan reordering is
+   a deterministic function of the placement, so its retry also reruns from
+   a fresh seed (the whole attempt restarts on a freshly generated design —
+   stages 1/3/4 mutate the netlist, so resuming mid-flow after a failure
+   would compound the damage) *)
+let seed_sensitive = function
+  | Placement | Reorder_atpg -> true
+  | _ -> false
+
+let default_retries = 3
+
+let reseed base k = (base lxor (k * 0x9E3779B1)) land 0x3FFFFFFF
+
+let describe_exn = function
+  | Stage_failure e -> e.detail
+  | Sta.Analysis.Combinational_cycle { inst; iname } ->
+    Printf.sprintf "combinational-cycle: instance %d (%s) sits on a combinational loop"
+      inst iname
+  | Sta.Analysis.Backtrack_diverged { net; nname } ->
+    Printf.sprintf "backtrack-diverged: arrival bookkeeping inconsistent at net %d (%s)"
+      net nname
+  | Failure m -> "failure: " ^ m
+  | Invalid_argument m -> "invalid-argument: " ^ m
+  | Not_found -> "not-found"
+  | Out_of_memory -> "out-of-memory"
+  | Stack_overflow -> "stack-overflow"
+  | e -> "exception: " ^ Printexc.to_string e
+
+let fail stage circuit detail = raise (Stage_failure { stage; circuit; detail })
+
+let netlist_check ~stage ~circuit d =
+  match Netlist.Check.run d with
+  | [] -> ()
+  | v :: _ as vs ->
+    let buf = Buffer.create 256 in
+    let ppf = Format.formatter_of_buffer buf in
+    Format.fprintf ppf "%s: %d violation(s), first: %a" (Netlist.Check.class_name v)
+      (List.length vs) (Netlist.Check.pp_violation d) v;
+    Format.pp_print_flush ppf ();
+    fail stage circuit (Buffer.contents buf)
+
+let layout_check ~stage ~circuit d vs =
+  match vs with [] -> () | vs -> fail stage circuit (Layout.Check.render d vs)
+
+(* Post-stage invariant checks: the netlist checker after the netlist
+   transformations (steps 1 and 3), the layout checker after placement,
+   ECO/route and extraction (steps 2/4/5). Violations become typed stage
+   errors whose detail leads with the violation-class tag. *)
+let post_check ~circuit stage (st : P.state) =
+  let d = st.P.s_design in
+  match stage with
+  | Tpi_scan -> netlist_check ~stage ~circuit d
+  | Placement ->
+    let pl = Option.get st.P.s_placement in
+    layout_check ~stage ~circuit d (Layout.Check.check_placement ~overlaps:true pl)
+  | Reorder_atpg ->
+    netlist_check ~stage ~circuit d;
+    (match st.P.s_chains with
+     | Some chains ->
+       (match Scan.Chains.verify d chains with
+        | None -> ()
+        | Some msg -> fail stage circuit ("scan-chain-order: " ^ msg))
+     | None -> ())
+  | Eco_cts_route ->
+    let pl = Option.get st.P.s_placement in
+    (* overlaps off: ECO legalisation and DRC upsizing legitimately crowd
+       rows; a generous margin still catches cells flung out of the core *)
+    layout_check ~stage ~circuit d
+      (Layout.Check.check_placement ~overlaps:false ~margin:10.0 pl);
+    layout_check ~stage ~circuit d
+      (Layout.Check.check_route pl (Option.get st.P.s_route))
+  | Extract ->
+    layout_check ~stage ~circuit d (Layout.Check.check_rc (Option.get st.P.s_rc))
+  | Sta -> ()
+
+let stage_body = function
+  | Tpi_scan -> P.stage_tpi_scan
+  | Placement -> P.stage_place
+  | Reorder_atpg -> P.stage_reorder_atpg
+  | Eco_cts_route -> P.stage_eco_route
+  | Extract -> P.stage_extract
+  | Sta -> P.stage_sta
+
+(* One pass over the six stages. Returns the stage log (all six stages, in
+   order), the reached state and the first error, never raising. *)
+let attempt ~circuit ~options ~tamper ~k mk_design =
+  match (try Ok (mk_design ()) with e -> Error e) with
+  | Error e ->
+    let err =
+      { stage = Tpi_scan; circuit; detail = "design-generation: " ^ describe_exn e }
+    in
+    (List.map (fun s -> (s, Skipped)) all_stages, None, Some err)
+  | Ok d ->
+    let st = P.init ~options d in
+    let log = ref [] in
+    let error = ref None in
+    List.iter
+      (fun stage ->
+        match !error with
+        | Some _ -> log := (stage, Skipped) :: !log
+        | None ->
+          let t0 = Unix.gettimeofday () in
+          let ms () = 1000.0 *. (Unix.gettimeofday () -. t0) in
+          (try
+             stage_body stage st;
+             (match tamper with Some f -> f ~attempt:k stage st | None -> ());
+             post_check ~circuit stage st;
+             log := (stage, Completed (ms ())) :: !log
+           with
+           | Stage_failure e ->
+             error := Some e;
+             log := (stage, Failed (ms ())) :: !log
+           | e ->
+             error := Some { stage; circuit; detail = describe_exn e };
+             log := (stage, Failed (ms ())) :: !log))
+      all_stages;
+    (List.rev !log, Some st, !error)
+
+let run ?(policy = Fail_fast) ?(retries = default_retries) ?(options = P.default_options)
+    ?tamper ~circuit mk_design =
+  let rec go k options =
+    let log, state, error = attempt ~circuit ~options ~tamper ~k mk_design in
+    match error with
+    | None ->
+      let result =
+        match state with
+        | Some st -> (try Some (P.finish st) with _ -> None)
+        | None -> None
+      in
+      (match result with
+       | Some _ ->
+         { circuit; policy; attempts = k + 1; stage_log = log; error = None; state;
+           result }
+       | None ->
+         (* finish only fails if a stage left a slot empty: report, never raise *)
+         { circuit; policy; attempts = k + 1; stage_log = log;
+           error =
+             Some { stage = Sta; circuit; detail = "internal: incomplete final state" };
+           state; result = None })
+    | Some e ->
+      if policy = Recover && k < retries && seed_sensitive e.stage then
+        go (k + 1) { options with P.seed = reseed options.P.seed (k + 1) }
+      else
+        { circuit; policy; attempts = k + 1; stage_log = log; error = Some e;
+          state = (if policy = Fail_fast then None else state); result = None }
+  in
+  go 0 options
+
+let pp_stage_error ppf (e : stage_error) =
+  Format.fprintf ppf "%s: stage %s failed: %s" e.circuit (stage_name e.stage) e.detail
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s (policy %s, %d attempt%s):@ " r.circuit
+    (policy_name r.policy) r.attempts
+    (if r.attempts = 1 then "" else "s");
+  List.iter
+    (fun (s, st) ->
+      match st with
+      | Completed ms -> Format.fprintf ppf "  %-14s ok     %8.1f ms@ " (stage_name s) ms
+      | Failed ms -> Format.fprintf ppf "  %-14s FAILED %8.1f ms@ " (stage_name s) ms
+      | Skipped -> Format.fprintf ppf "  %-14s skipped@ " (stage_name s))
+    r.stage_log;
+  (match r.error with
+   | Some e -> Format.fprintf ppf "  error: %s@]" e.detail
+   | None -> Format.fprintf ppf "  complete@]")

@@ -1,0 +1,88 @@
+(** Guarded execution of the Figure-2 flow.
+
+    Wraps each of the six {!Pipeline} stages with wall-clock timing, typed
+    stage errors and inter-stage invariant checks ({!Netlist.Check} after
+    the netlist transformations, {!Layout.Check} after placement/ECO/
+    extraction, {!Scan.Chains.verify} after reordering), under a failure
+    policy:
+
+    - {!Fail_fast} — stop at the first failing stage and report it;
+    - {!Recover} — a failure in a seed-sensitive stage (placement, scan
+      reorder) restarts the whole attempt on a freshly generated design
+      with a reseeded RNG, up to [retries] times;
+    - {!Degrade} — keep the partial state of the completed head stages and
+      mark the failed tail absent, so a sweep can keep going and report
+      the level as degraded instead of crashing.
+
+    [run] never lets an exception escape: tool crashes, checker violations
+    and even misbehaving [tamper] hooks all land in the report as a
+    {!stage_error}. *)
+
+type stage =
+  | Tpi_scan        (** step 1: TPI + scan insertion *)
+  | Placement       (** step 2: floorplan + placement *)
+  | Reorder_atpg    (** step 3: scan reorder + ATPG *)
+  | Eco_cts_route   (** step 4: ECO + CTS + DRC + filler + routing *)
+  | Extract         (** step 5: RC extraction *)
+  | Sta             (** step 6: static timing analysis *)
+
+val all_stages : stage list
+(** Flow order. *)
+
+val stage_name : stage -> string
+
+type stage_error = {
+  stage : stage;
+  circuit : string;
+  detail : string;  (** leads with a class tag, e.g. ["cell-overlap: ..."] *)
+}
+
+exception Stage_failure of stage_error
+(** Internal signalling; never escapes {!run}. *)
+
+type policy =
+  | Fail_fast
+  | Recover
+  | Degrade
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+type stage_status =
+  | Completed of float  (** wall-clock ms *)
+  | Failed of float
+  | Skipped
+
+type report = {
+  circuit : string;
+  policy : policy;
+  attempts : int;                         (** 1 + retries actually used *)
+  stage_log : (stage * stage_status) list; (** all six stages, flow order *)
+  error : stage_error option;
+  state : Pipeline.state option;
+      (** partial stage products of the last attempt; dropped under
+          {!Fail_fast} failures *)
+  result : Pipeline.result option;        (** [Some] iff the flow completed *)
+}
+
+val succeeded : report -> bool
+val outcome : report -> (Pipeline.result, stage_error) result
+val completed_stages : report -> stage list
+
+val default_retries : int
+
+val run :
+  ?policy:policy ->
+  ?retries:int ->
+  ?options:Pipeline.options ->
+  ?tamper:(attempt:int -> stage -> Pipeline.state -> unit) ->
+  circuit:string ->
+  (unit -> Netlist.Design.t) ->
+  report
+(** [run ~circuit mk_design] generates a design with [mk_design] and runs
+    the guarded flow. [tamper], used by {!Inject} and the chaos tests, is
+    called after each stage's body and before its invariant checks; it may
+    mutate the state (fault injection) or raise (simulated tool crash). *)
+
+val pp_stage_error : Format.formatter -> stage_error -> unit
+val pp_report : Format.formatter -> report -> unit

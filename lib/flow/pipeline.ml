@@ -39,24 +39,80 @@ type result = {
   drc : Layout.Drc.report;
 }
 
-let run ?(options = default_options) (d : Design.t) =
-  (* --- step 1: TPI and scan insertion --- *)
+(* The six Figure-2 stages, split so a guarded runner (Flow.Guard) can
+   execute, time, check and retry them one at a time. Each stage reads its
+   prerequisites from the state and fills in its own slots; [run] below
+   composes them into the original straight-line flow. *)
+
+type state = {
+  s_design : Design.t;
+  s_options : options;
+  mutable s_tp_count : int;
+  mutable s_tpi_report : Tpi.Select.report option;
+  mutable s_placement : Layout.Place.t option;
+  mutable s_chains : Scan.Chains.t option;
+  mutable s_reorder : Scan.Reorder.result option;
+  mutable s_atpg : Atpg.Patgen.outcome option;
+  mutable s_tdv_bits : int;
+  mutable s_tat_cycles : int;
+  mutable s_cts : Layout.Cts.report option;
+  mutable s_drc : Layout.Drc.report option;
+  mutable s_filler : Layout.Filler.report option;
+  mutable s_route : Layout.Route.t option;
+  mutable s_rc : Layout.Extract.net_rc array option;
+  mutable s_sta : Sta.Analysis.t option;
+}
+
+let init ?(options = default_options) (d : Design.t) =
+  { s_design = d;
+    s_options = options;
+    s_tp_count = 0;
+    s_tpi_report = None;
+    s_placement = None;
+    s_chains = None;
+    s_reorder = None;
+    s_atpg = None;
+    s_tdv_bits = 0;
+    s_tat_cycles = 0;
+    s_cts = None;
+    s_drc = None;
+    s_filler = None;
+    s_route = None;
+    s_rc = None;
+    s_sta = None }
+
+let need what = function
+  | Some v -> v
+  | None -> invalid_arg ("Flow.Pipeline: stage run out of order, missing " ^ what)
+
+(* --- step 1: TPI and scan insertion --- *)
+let stage_tpi_scan st =
+  let d = st.s_design and options = st.s_options in
   let ffs_before = List.length (Design.ffs d) in
   let tp_count =
     int_of_float (Float.round (options.tp_percent *. float_of_int ffs_before /. 100.0))
   in
-  let tpi_report =
-    if tp_count > 0 then Some (Tpi.Select.run ~config:options.tpi_config d ~count:tp_count)
-    else None
-  in
-  ignore (Scan.Replace.run d);
-  (* --- step 2: floorplanning and placement --- *)
+  st.s_tp_count <- tp_count;
+  st.s_tpi_report <-
+    (if tp_count > 0 then Some (Tpi.Select.run ~config:options.tpi_config d ~count:tp_count)
+     else None);
+  ignore (Scan.Replace.run d)
+
+(* --- step 2: floorplanning and placement --- *)
+let stage_place st =
+  let d = st.s_design and options = st.s_options in
   let fp = Layout.Floorplan.create ~utilization:options.utilization d in
-  let placement = Layout.Place.run ~seed:options.seed d fp in
-  (* --- step 3: layout-driven scan reordering, then ATPG --- *)
+  st.s_placement <- Some (Layout.Place.run ~seed:options.seed d fp)
+
+(* --- step 3: layout-driven scan reordering, then ATPG --- *)
+let stage_reorder_atpg st =
+  let d = st.s_design and options = st.s_options in
+  let placement = need "placement" st.s_placement in
   let position iid = Layout.Place.position placement iid in
   let reorder = Scan.Reorder.run d ~config:options.chain_config ~position in
   let chains = reorder.Scan.Reorder.plan in
+  st.s_reorder <- Some reorder;
+  st.s_chains <- Some chains;
   let atpg =
     if options.run_atpg then begin
       let m = Netlist.Cmodel.build d in
@@ -64,43 +120,65 @@ let run ?(options = default_options) (d : Design.t) =
     end
     else None
   in
+  st.s_atpg <- atpg;
   let patterns = match atpg with Some o -> Atpg.Patgen.num_patterns o | None -> 0 in
-  let tdv_bits =
-    if patterns = 0 then 0
-    else
-      Atpg.Tdv.tdv ~chains:(Scan.Chains.num_chains chains) ~lmax:chains.Scan.Chains.lmax
-        ~patterns
-  in
-  let tat_cycles =
-    if patterns = 0 then 0 else Atpg.Tdv.tat ~lmax:chains.Scan.Chains.lmax ~patterns
-  in
-  (* --- step 4: ECO (reorder buffers), clock trees, filler, routing --- *)
+  st.s_tdv_bits <-
+    (if patterns = 0 then 0
+     else
+       Atpg.Tdv.tdv ~chains:(Scan.Chains.num_chains chains) ~lmax:chains.Scan.Chains.lmax
+         ~patterns);
+  st.s_tat_cycles <-
+    (if patterns = 0 then 0 else Atpg.Tdv.tat ~lmax:chains.Scan.Chains.lmax ~patterns)
+
+(* --- step 4: ECO (reorder buffers), clock trees, filler, routing --- *)
+let stage_eco_route st =
+  let placement = need "placement" st.s_placement in
+  let reorder = need "reorder" st.s_reorder in
   List.iter
     (fun (iid, near) -> Layout.Eco.add_cell placement ~inst:iid ~near)
     reorder.Scan.Reorder.new_buffers;
-  let cts = Layout.Cts.run placement in
-  let drc = Layout.Drc.fix_max_cap placement in
-  let filler = Layout.Filler.run placement in
-  let route = Layout.Route.run placement in
-  (* --- step 5: extraction --- *)
-  let rc = Layout.Extract.run placement route in
-  (* --- step 6: static timing analysis --- *)
-  let sta = Sta.Analysis.run placement rc in
-  let stats = Netlist.Stats.compute d in
-  { design = d;
-    options;
-    tp_count;
-    tpi_report;
-    chains;
-    reorder;
-    atpg;
-    tdv_bits;
-    tat_cycles;
-    placement;
-    cts;
-    filler;
-    route;
-    rc;
-    sta;
-    stats;
-    drc }
+  st.s_cts <- Some (Layout.Cts.run placement);
+  st.s_drc <- Some (Layout.Drc.fix_max_cap placement);
+  st.s_filler <- Some (Layout.Filler.run placement);
+  st.s_route <- Some (Layout.Route.run placement)
+
+(* --- step 5: extraction --- *)
+let stage_extract st =
+  let placement = need "placement" st.s_placement in
+  let route = need "route" st.s_route in
+  st.s_rc <- Some (Layout.Extract.run placement route)
+
+(* --- step 6: static timing analysis --- *)
+let stage_sta st =
+  let placement = need "placement" st.s_placement in
+  let rc = need "rc" st.s_rc in
+  st.s_sta <- Some (Sta.Analysis.run placement rc)
+
+let finish st =
+  { design = st.s_design;
+    options = st.s_options;
+    tp_count = st.s_tp_count;
+    tpi_report = st.s_tpi_report;
+    chains = need "chains" st.s_chains;
+    reorder = need "reorder" st.s_reorder;
+    atpg = st.s_atpg;
+    tdv_bits = st.s_tdv_bits;
+    tat_cycles = st.s_tat_cycles;
+    placement = need "placement" st.s_placement;
+    cts = need "cts" st.s_cts;
+    filler = need "filler" st.s_filler;
+    route = need "route" st.s_route;
+    rc = need "rc" st.s_rc;
+    sta = need "sta" st.s_sta;
+    stats = Netlist.Stats.compute st.s_design;
+    drc = need "drc" st.s_drc }
+
+let run ?(options = default_options) (d : Design.t) =
+  let st = init ~options d in
+  stage_tpi_scan st;
+  stage_place st;
+  stage_reorder_atpg st;
+  stage_eco_route st;
+  stage_extract st;
+  stage_sta st;
+  finish st

@@ -46,3 +46,43 @@ type result = {
 
 val run : ?options:options -> Netlist.Design.t -> result
 (** Mutates the design (TPI, scan, buffers, fillers). *)
+
+(** {1 Staged execution}
+
+    The same flow, one stage at a time, for guarded/recoverable execution
+    (see {!Guard}). A [state] accumulates the per-stage products; stages
+    must be run in Figure-2 order and raise [Invalid_argument] when a
+    prerequisite is missing. [run] is exactly
+    [init |> the six stages |> finish]. *)
+
+type state = {
+  s_design : Netlist.Design.t;
+  s_options : options;
+  mutable s_tp_count : int;
+  mutable s_tpi_report : Tpi.Select.report option;
+  mutable s_placement : Layout.Place.t option;
+  mutable s_chains : Scan.Chains.t option;
+  mutable s_reorder : Scan.Reorder.result option;
+  mutable s_atpg : Atpg.Patgen.outcome option;
+  mutable s_tdv_bits : int;
+  mutable s_tat_cycles : int;
+  mutable s_cts : Layout.Cts.report option;
+  mutable s_drc : Layout.Drc.report option;
+  mutable s_filler : Layout.Filler.report option;
+  mutable s_route : Layout.Route.t option;
+  mutable s_rc : Layout.Extract.net_rc array option;
+  mutable s_sta : Sta.Analysis.t option;
+}
+
+val init : ?options:options -> Netlist.Design.t -> state
+
+val stage_tpi_scan : state -> unit
+val stage_place : state -> unit
+val stage_reorder_atpg : state -> unit
+val stage_eco_route : state -> unit
+val stage_extract : state -> unit
+val stage_sta : state -> unit
+
+val finish : state -> result
+(** Collects a complete [result]; raises [Invalid_argument] if any stage
+    has not run. *)

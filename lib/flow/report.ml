@@ -145,6 +145,21 @@ let table3 (rows : Experiment.row list) =
          "T_intr"; "T_load"; "T_setup"; "T_skew" ]
        (List.rev !data))
 
+let degraded_lines (grows : Experiment.guarded_row list) =
+  List.map
+    (fun (g : Experiment.guarded_row) ->
+      let r = g.Experiment.g_report in
+      let detail =
+        match r.Guard.error with
+        | Some e -> Printf.sprintf "stage %s: %s" (Guard.stage_name e.Guard.stage) e.Guard.detail
+        | None -> "unknown failure"
+      in
+      Printf.sprintf "DEGRADED %s @%d%% TP (after %d attempt%s): %s"
+        g.Experiment.g_spec.Experiment.circuit g.Experiment.g_tp_pct r.Guard.attempts
+        (if r.Guard.attempts = 1 then "" else "s")
+        detail)
+    (Experiment.degraded_rows grows)
+
 let summary (rows : Experiment.row list) =
   let nonzero =
     List.filter (fun (r : Experiment.row) -> r.Experiment.tp_pct > 0) rows
@@ -177,3 +192,15 @@ let summary (rows : Experiment.row list) =
       (if pats r0 = 0 then 0.0
        else -.Atpg.Tdv.reduction_pct ~before:(pats r0) ~after:(pats r1))
   | _ -> "summary requires a baseline and at least one test-point level\n"
+
+let guarded_summary (grows : Experiment.guarded_row list) =
+  let ok = Experiment.completed_rows grows in
+  let flags = degraded_lines grows in
+  let body =
+    match ok with
+    | [] -> "no level of the sweep completed\n"
+    | ok -> summary ok
+  in
+  match flags with
+  | [] -> body
+  | flags -> body ^ String.concat "\n" flags ^ "\n"

@@ -14,3 +14,11 @@ val table3 : Experiment.row list -> string
 
 val summary : Experiment.row list -> string
 (** One-paragraph recap in the style of the paper's abstract claims. *)
+
+val degraded_lines : Experiment.guarded_row list -> string list
+(** One "DEGRADED circuit @N% TP ..." line per failed level of a guarded
+    sweep, naming the failing stage and its typed error. *)
+
+val guarded_summary : Experiment.guarded_row list -> string
+(** {!summary} over the completed levels, followed by the degraded-row
+    flags. *)

@@ -7,6 +7,15 @@ type violation =
   | Ff_without_domain of int
   | Ff_clock_mismatch of int
 
+let class_name = function
+  | Undriven_net _ -> "undriven-net"
+  | Floating_input _ -> "floating-input"
+  | Dangling_output _ -> "dangling-output"
+  | Unbound_port _ -> "unbound-port"
+  | Inconsistent_conn _ -> "inconsistent-conn"
+  | Ff_without_domain _ -> "ff-without-domain"
+  | Ff_clock_mismatch _ -> "clock-mismatch"
+
 let pp_violation (d : Design.t) ppf = function
   | Undriven_net n -> Format.fprintf ppf "undriven net %s" (Design.net d n).nname
   | Floating_input (i, p) ->
@@ -90,7 +99,6 @@ let run (d : Design.t) =
           end
         end
       end);
-  Design.iter_insts d (fun _ -> ());
   let ports = Design.input_ports d @ Design.output_ports d in
   List.iter (fun (p : Design.port) -> if p.pnet < 0 then add (Unbound_port p.pid)) ports;
   List.rev !out

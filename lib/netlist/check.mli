@@ -11,6 +11,10 @@ type violation =
   | Ff_clock_mismatch of int
       (** FF clock pin not on its domain's clock net *)
 
+val class_name : violation -> string
+(** Stable kebab-case tag for a violation's class, e.g. ["undriven-net"];
+    used by {!Flow.Guard} to classify stage errors. *)
+
 val pp_violation : Design.t -> Format.formatter -> violation -> unit
 
 val run : Design.t -> violation list

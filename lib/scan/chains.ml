@@ -81,3 +81,43 @@ let stitch (d : Design.t) t =
     t.chains
 
 let num_chains t = Array.length t.chains
+
+let verify (d : Design.t) t =
+  (* the netlist's TI wiring must realise exactly the planned chain order:
+     cell j's TI driven by cell j-1's Q (j = 0 comes from a scan-in port) *)
+  let problem = ref None in
+  let report msg = if !problem = None then problem := Some msg in
+  Array.iteri
+    (fun k chain ->
+      Array.iteri
+        (fun j iid ->
+          let i = Design.inst d iid in
+          (match i.Design.cell.Cell.kind with
+           | Cell.Sdff | Cell.Tsff -> ()
+           | _ ->
+             report
+               (Printf.sprintf "chain %d cell %d (%s) is not a scan cell" k j
+                  i.Design.iname));
+          let ti_net = i.Design.conns.(ti_pin) in
+          if ti_net < 0 then
+            report (Printf.sprintf "chain %d cell %d (%s): TI unconnected" k j i.Design.iname)
+          else if j = 0 then begin
+            match (Design.net d ti_net).Design.driver with
+            | Design.Port_in _ -> ()
+            | _ ->
+              report
+                (Printf.sprintf "chain %d head %s: TI not fed from a scan-in port" k
+                   i.Design.iname)
+          end
+          else begin
+            let want = q_net d chain.(j - 1) in
+            if ti_net <> want then
+              report
+                (Printf.sprintf
+                   "chain %d cell %d (%s): TI on net %d, expected predecessor %s's Q (net %d)"
+                   k j i.Design.iname ti_net
+                   (Design.inst d chain.(j - 1)).Design.iname want)
+          end)
+        chain)
+    t.chains;
+  !problem

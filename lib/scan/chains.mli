@@ -27,3 +27,9 @@ val stitch : Netlist.Design.t -> t -> unit
     stitching is undone first. *)
 
 val num_chains : t -> int
+
+val verify : Netlist.Design.t -> t -> string option
+(** Checks that the netlist's TI stitching realises the plan: every chain
+    cell is a scan cell, heads come from a scan-in port, and each cell's TI
+    rides its planned predecessor's Q. [None] = consistent; [Some msg]
+    describes the first broken link (a "broken scan-chain order"). *)

@@ -9,6 +9,17 @@ type config = {
 
 let default_config = { input_slew_ps = 100.0; input_arrival_ps = 0.0 }
 
+exception Combinational_cycle of { inst : int; iname : string }
+exception Backtrack_diverged of { net : int; nname : string }
+
+let () =
+  Printexc.register_printer (function
+    | Combinational_cycle { inst; iname } ->
+      Some (Printf.sprintf "Sta.Analysis.Combinational_cycle(inst %d, %s)" inst iname)
+    | Backtrack_diverged { net; nname } ->
+      Some (Printf.sprintf "Sta.Analysis.Backtrack_diverged(net %d, %s)" net nname)
+    | _ -> None)
+
 type breakdown = {
   b_wires : float;
   b_intrinsic : float;
@@ -197,14 +208,23 @@ let run ?(config = default_config) (pl : Layout.Place.t) (rc : Layout.Extract.ne
            end)
          (Design.net d out_net).Design.sinks)
   done;
-  if !processed <> !total then failwith "Sta.Analysis.run: combinational cycle";
+  if !processed <> !total then begin
+    (* name a cell stuck on the cycle: considered but never released *)
+    let offender = ref (-1) in
+    Design.iter_insts d (fun i ->
+        if !offender < 0 && considered.(i.Design.id) && pending.(i.Design.id) > 0 then
+          offender := i.Design.id);
+    let iname = if !offender >= 0 then (Design.inst d !offender).Design.iname else "?" in
+    raise (Combinational_cycle { inst = !offender; iname })
+  end;
   let slow_nodes = Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 slow_flag in
   (* ---- endpoints and critical paths ---- *)
   (* backtrack from a (net, sink inst, sink pin) to the path's start *)
   let backtrack end_net end_inst end_pin =
     let steps = ref [] in
     let rec walk nid iid pin guard =
-      if guard > 100_000 then failwith "Sta.Analysis: path backtrack diverged";
+      if guard > 100_000 then
+        raise (Backtrack_diverged { net = nid; nname = (Design.net d nid).Design.nname });
       let wire = Layout.Extract.sink_elmore rc.(nid) ~inst:iid ~pin in
       match (Design.net d nid).Design.driver with
       | Design.Port_in pid ->

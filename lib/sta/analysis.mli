@@ -16,6 +16,13 @@ type config = {
 
 val default_config : config
 
+exception Combinational_cycle of { inst : int; iname : string }
+(** The netlist has a combinational loop; carries one instance stuck on it. *)
+
+exception Backtrack_diverged of { net : int; nname : string }
+(** Critical-path backtracking exceeded its step budget; carries the net at
+    which the walk gave up (arrival bookkeeping is inconsistent). *)
+
 type breakdown = {
   b_wires : float;
   b_intrinsic : float;
@@ -63,6 +70,7 @@ type t = {
 }
 
 val run : ?config:config -> Layout.Place.t -> Layout.Extract.net_rc array -> t
-(** Raises [Failure] on a combinational cycle. *)
+(** Raises {!Combinational_cycle} on a combinational loop and
+    {!Backtrack_diverged} if path reconstruction fails to terminate. *)
 
 val pp_path : Netlist.Design.t -> Format.formatter -> critical_path -> unit

@@ -17,4 +17,5 @@ let () =
       ("timingfix", Test_timingfix.suite);
       ("properties", Test_props.suite);
       ("edge-cases", Test_more.suite);
-      ("flow", Test_flow.suite) ]
+      ("flow", Test_flow.suite);
+      ("guard", Test_guard.suite) ]

@@ -226,26 +226,53 @@ let perf () =
         ignore (Core.Render.svg_placement pl)))
   in
   let benchmark test =
-    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let instances = Toolkit.Instance.[ minor_allocated; monotonic_clock ] in
     let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 2.0) () in
     Benchmark.all cfg instances test
   in
-  let analyze results =
+  let analyze instance results =
     Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
                    ~predictors:[| Measure.run |])
-      Toolkit.Instance.monotonic_clock results
+      instance results
   in
+  let estimates instance results =
+    let ols = analyze instance results in
+    Hashtbl.fold
+      (fun name result acc ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> (name, est) :: acc
+        | _ -> acc)
+      ols []
+  in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = benchmark (Test.make_grouped ~name:"kernel" [ test ]) in
-      let ols = analyze results in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> say "%-24s %12.3f ms/run" name (est /. 1e6)
-          | _ -> say "%-24s (no estimate)" name)
-        ols)
-    [ table1_kernel; table2_kernel; table3_kernel; fig1_kernel; fig2_kernel; fig3_kernel ]
+      let times = estimates Toolkit.Instance.monotonic_clock results in
+      let words = estimates Toolkit.Instance.minor_allocated results in
+      List.iter
+        (fun (name, ns) ->
+          let w = match List.assoc_opt name words with Some w -> w | None -> 0.0 in
+          say "%-24s %12.3f ms/run %14.0f minor words/run" name (ns /. 1e6) w;
+          rows := (name, ns, w) :: !rows)
+        times)
+    [ table1_kernel; table2_kernel; table3_kernel; fig1_kernel; fig2_kernel; fig3_kernel ];
+  (* machine-readable trajectory point: one JSON object per kernel, so
+     successive runs of `--perf` can be diffed / plotted over time *)
+  let kernels =
+    List.rev_map
+      (fun (name, ns, w) ->
+        Obs.Json.Obj
+          [ ("name", Obs.Json.String name);
+            ("ns_per_run", Obs.Json.Float ns);
+            ("minor_words_per_run", Obs.Json.Float w) ])
+      !rows
+  in
+  Obs.Json.write_file "BENCH_perf.json"
+    (Obs.Json.Obj
+       [ ("schema", Obs.Json.String "tpi-bench-perf/1");
+         ("kernels", Obs.Json.List kernels) ]);
+  say "wrote BENCH_perf.json (%d kernels)" (List.length kernels)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

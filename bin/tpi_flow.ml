@@ -56,29 +56,61 @@ let retries_arg =
   let doc = "Retry budget for --policy recover." in
   Arg.(value & opt int Core.Guard.default_retries & info [ "retries" ] ~docv:"N" ~doc)
 
-let run circuit scale levels atpg tables svg_dir def_file lib_file policy retries =
+let trace_arg =
+  let doc =
+    "Record a span trace of the run and write it as Chrome trace-event JSON \
+     (open in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Write the kernel metrics registry (counters, gauges, histograms) as JSON." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let verbose_arg =
+  let doc = "Print per-stage span timings and non-zero metrics after the sweep." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+(* validate everything that can fail *before* any side-effecting export,
+   so a bad flag never leaves partial output files behind *)
+let validated ?scale ~circuit ~levels () =
+  match Core.Experiment.spec_for ?scale circuit with
+  | exception Invalid_argument msg -> Error msg
+  | spec ->
+    (match List.find_opt (fun l -> l < 0 || l > 100) levels with
+     | Some l -> Error (Printf.sprintf "test point level %d%% out of range 0-100" l)
+     | None -> Ok spec)
+
+(* guarded sweep: under fail-fast the sweep stops at the first failed
+   level; under recover/degrade every level is attempted and failures
+   become degraded rows *)
+let guarded_sweep spec ~policy ~retries ~atpg levels =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | tp_pct :: rest ->
+      let g =
+        Core.Experiment.run_one_guarded ~policy ~retries ~with_atpg:atpg spec ~tp_pct
+      in
+      let failed = g.Core.Experiment.g_report.Core.Guard.result = None in
+      if failed && policy = Core.Guard.Fail_fast then List.rev (g :: acc)
+      else loop (g :: acc) rest
+  in
+  loop [] levels
+
+let run circuit scale levels atpg tables svg_dir def_file lib_file policy retries
+    trace_file metrics_file verbose =
+  match validated ?scale ~circuit ~levels () with
+  | Error msg ->
+    Format.eprintf "tpi_flow: %s@." msg;
+    2
+  | Ok spec ->
   (match lib_file with
    | Some path ->
      Core.Liberty.write_file path Core.Library.default;
      Printf.printf "wrote %s\n" path
    | None -> ());
-  let spec = Core.Experiment.spec_for ?scale circuit in
-  (* guarded sweep: under fail-fast the sweep stops at the first failed
-     level; under recover/degrade every level is attempted and failures
-     become degraded rows *)
-  let grows =
-    let rec loop acc = function
-      | [] -> List.rev acc
-      | tp_pct :: rest ->
-        let g =
-          Core.Experiment.run_one_guarded ~policy ~retries ~with_atpg:atpg spec ~tp_pct
-        in
-        let failed = g.Core.Experiment.g_report.Core.Guard.result = None in
-        if failed && policy = Core.Guard.Fail_fast then List.rev (g :: acc)
-        else loop (g :: acc) rest
-    in
-    loop [] levels
-  in
+  if trace_file <> None then Core.Trace.enable ();
+  let grows = guarded_sweep spec ~policy ~retries ~atpg levels in
   let rows = Core.Experiment.completed_rows grows in
   if rows <> [] then begin
     if List.mem 1 tables && atpg then print_string (Core.Report.table1 rows);
@@ -103,6 +135,22 @@ let run circuit scale levels atpg tables svg_dir def_file lib_file policy retrie
      Core.Defout.write_file path row.Core.Experiment.result.Core.Pipeline.placement;
      Printf.printf "wrote %s\n" path
    | _ -> ());
+  if verbose then begin
+    List.iter
+      (fun g -> Format.printf "%a@." Core.Guard.pp_report g.Core.Experiment.g_report)
+      grows;
+    Format.printf "metrics:@.%a@." Core.Metrics.pp ()
+  end;
+  (match trace_file with
+   | Some path ->
+     Core.Trace.write_chrome path;
+     Printf.printf "wrote %s (%d spans)\n" path (List.length (Core.Trace.spans ()))
+   | None -> ());
+  (match metrics_file with
+   | Some path ->
+     Core.Metrics.write_json path;
+     Printf.printf "wrote %s\n" path
+   | None -> ());
   match (policy, Core.Experiment.degraded_rows grows) with
   | Core.Guard.Fail_fast, g :: _ ->
     (match g.Core.Experiment.g_report.Core.Guard.error with
@@ -133,16 +181,49 @@ let selftest ffs gates =
   Printf.printf "%d/%d classes detected and classified\n" detected (List.length outcomes);
   if Core.Inject.all_detected outcomes && recover_ok && degrade_ok then 0 else 1
 
+(* profile: run a traced sweep and print the self-time kernel ranking *)
+let profile circuit scale levels atpg policy retries trace_file =
+  match validated ?scale ~circuit ~levels () with
+  | Error msg ->
+    Format.eprintf "tpi_flow: %s@." msg;
+    2
+  | Ok spec ->
+    Core.Trace.enable ();
+    let grows = guarded_sweep spec ~policy ~retries ~atpg levels in
+    let completed = List.length (Core.Experiment.completed_rows grows) in
+    Format.printf "profile: %s, levels %s, %d/%d levels completed, %d spans@.@."
+      circuit
+      (String.concat "," (List.map string_of_int levels))
+      completed (List.length grows)
+      (List.length (Core.Trace.spans ()));
+    Format.printf "%a@." Core.Trace.pp_profile ();
+    (match trace_file with
+     | Some path ->
+       Core.Trace.write_chrome path;
+       Printf.printf "wrote %s\n" path
+     | None -> ());
+    if completed = List.length grows then 0 else 1
+
 let run_term =
   Term.(const run $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ tables_arg
-        $ svg_arg $ def_arg $ lib_arg $ policy_arg $ retries_arg)
+        $ svg_arg $ def_arg $ lib_arg $ policy_arg $ retries_arg
+        $ trace_arg $ metrics_arg $ verbose_arg)
 
 let selftest_cmd =
   let doc = "Run the guarded-flow fault-injection selftest (10 mutation classes)." in
   Cmd.v (Cmd.info "selftest" ~doc) Term.(const selftest $ selftest_ffs_arg $ selftest_gates_arg)
 
+let profile_cmd =
+  let doc =
+    "Run a traced sweep and print the kernels ranked by self time (time spent in a \
+     span minus time spent in its children), with call counts and allocation totals."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const profile $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ policy_arg
+          $ retries_arg $ trace_arg)
+
 let cmd =
   let doc = "Reproduce 'Impact of Test Point Insertion on Silicon Area and Timing during Layout' (DATE 2004)" in
-  Cmd.group ~default:run_term (Cmd.info "tpi_flow" ~doc) [ selftest_cmd ]
+  Cmd.group ~default:run_term (Cmd.info "tpi_flow" ~doc) [ selftest_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval' cmd)

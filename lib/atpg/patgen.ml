@@ -31,6 +31,12 @@ type outcome = {
 
 let num_patterns o = List.length o.patterns
 
+let m_patterns = Obs.Metrics.counter "atpg.patterns_generated"
+let m_podem_attempts = Obs.Metrics.counter "atpg.podem_attempts"
+let m_aborted = Obs.Metrics.counter "atpg.aborted_faults"
+let m_redundant = Obs.Metrics.counter "atpg.redundant_faults"
+let h_merge_tries = Obs.Metrics.histogram "atpg.merge_tries"
+
 (* extract pattern [bit] of the batch as a concrete source assignment *)
 let column words bit =
   let ns = Array.length words in
@@ -104,7 +110,7 @@ let static_compact sim (universe : Fault.universe) patterns =
 
 let run ?(config = default_config) (m : Cmodel.t) =
   let rng = Rng.create config.seed in
-  let universe = Fault.build m in
+  let universe = Obs.Trace.with_span ~name:"atpg.fault_build" (fun () -> Fault.build m) in
   let sim = Fsim.create m in
   let ns = Array.length m.Cmodel.sources in
   let patterns = ref [] in
@@ -129,6 +135,7 @@ let run ?(config = default_config) (m : Cmodel.t) =
   in
   (* ---- optional random warm-up (off in the default compact flow) ---- *)
   let batches = ref 0 and stop = ref (config.random_batches_max <= 0) in
+  Obs.Trace.with_span ~name:"atpg.random" (fun () ->
   while not !stop do
     incr batches;
     if !batches > config.random_batches_max || !live = [] then stop := true
@@ -150,6 +157,7 @@ let run ?(config = default_config) (m : Cmodel.t) =
       else begin
         patterns := column words !best :: !patterns;
         incr random_patterns;
+        Obs.Metrics.incr m_patterns;
         let table = Hashtbl.create 64 in
         List.iter (fun ((f : Fault.fault), m) -> Hashtbl.replace table f.Fault.fid m) masks;
         drop_detected (fun f ->
@@ -158,7 +166,7 @@ let run ?(config = default_config) (m : Cmodel.t) =
             | None -> false)
       end
     end
-  done;
+  done);
   (* ---- deterministic phase with dynamic compaction ---- *)
   let podem = Podem.create m in
   let aborted = ref 0 and redundant = ref 0 in
@@ -172,17 +180,23 @@ let run ?(config = default_config) (m : Cmodel.t) =
   let targets = Array.of_list !live in
   Array.sort (fun a b -> compare (hardness a) (hardness b)) targets;
   let ntargets = Array.length targets in
+  Obs.Trace.with_span ~name:"atpg.deterministic"
+    ~attrs:[ ("targets", Obs.Json.Int ntargets) ]
+    (fun () ->
   Array.iteri
     (fun ti (f : Fault.fault) ->
       if f.Fault.status = Fault.Undetected then begin
         Podem.reset podem;
+        Obs.Metrics.incr m_podem_attempts;
         match Podem.attempt ~backtrack_limit:config.backtrack_limit podem ~keep:true f with
         | Podem.Untestable ->
           f.Fault.status <- Fault.Redundant;
-          incr redundant
+          incr redundant;
+          Obs.Metrics.incr m_redundant
         | Podem.Abort ->
           f.Fault.status <- Fault.Aborted;
-          incr aborted
+          incr aborted;
+          Obs.Metrics.incr m_aborted
         | Podem.Test cube0 ->
           (* dynamic compaction: keep the cube applied and pile further
              targets on top until conflicts dominate (a run of consecutive
@@ -200,6 +214,7 @@ let run ?(config = default_config) (m : Cmodel.t) =
             incr tj;
             if g.Fault.status = Fault.Undetected then begin
               incr tries;
+              Obs.Metrics.incr m_podem_attempts;
               match Podem.attempt ~backtrack_limit:8 podem ~keep:true g with
               | Podem.Test cube' ->
                 cube := cube';
@@ -225,6 +240,8 @@ let run ?(config = default_config) (m : Cmodel.t) =
           done;
           patterns := column words !best :: !patterns;
           incr deterministic_patterns;
+          Obs.Metrics.incr m_patterns;
+          Obs.Metrics.observe h_merge_tries (float_of_int !tries);
           let table = Hashtbl.create 64 in
           List.iter (fun ((g : Fault.fault), mask) -> Hashtbl.replace table g.Fault.fid mask) masks;
           drop_detected (fun g ->
@@ -233,12 +250,16 @@ let run ?(config = default_config) (m : Cmodel.t) =
               | None -> false);
           if f.Fault.status = Fault.Undetected then begin
             f.Fault.status <- Fault.Aborted;
-            incr aborted
+            incr aborted;
+            Obs.Metrics.incr m_aborted
           end
       end)
-    targets;
+    targets);
   let fault_coverage, fault_efficiency = Fault.coverage universe in
-  let patterns = static_compact sim universe (List.rev !patterns) in
+  let patterns =
+    Obs.Trace.with_span ~name:"atpg.static_compact" (fun () ->
+        static_compact sim universe (List.rev !patterns))
+  in
   { patterns;
     universe;
     fault_coverage;

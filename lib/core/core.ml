@@ -49,6 +49,9 @@ module Layout_check = Layout.Check
 module Lfsr = Lbist.Lfsr
 module Misr = Lbist.Misr
 module Bist = Lbist.Bist
+module Trace = Obs.Trace
+module Metrics = Obs.Metrics
+module Json = Obs.Json
 
 (** Run the complete Figure-2 flow on a named benchmark circuit at the
     given test point percentage; the fastest way to see everything work. *)

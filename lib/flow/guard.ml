@@ -128,6 +128,7 @@ let layout_check ~stage ~circuit d vs =
    ECO/route and extraction (steps 2/4/5). Violations become typed stage
    errors whose detail leads with the violation-class tag. *)
 let post_check ~circuit stage (st : P.state) =
+  Obs.Trace.with_span ~name:("check." ^ stage_name stage) @@ fun () ->
   let d = st.P.s_design in
   match stage with
   | Tpi_scan -> netlist_check ~stage ~circuit d
@@ -162,8 +163,18 @@ let stage_body = function
   | Extract -> P.stage_extract
   | Sta -> P.stage_sta
 
+let m_stage_failures = Obs.Metrics.counter "guard.stage_failures"
+let m_retries = Obs.Metrics.counter "guard.retries"
+let m_stages_run = Obs.Metrics.counter "guard.stages_run"
+
 (* One pass over the six stages. Returns the stage log (all six stages, in
-   order), the reached state and the first error, never raising. *)
+   order), the reached state and the first error, never raising.
+
+   Stage timing comes from the {!Obs.Trace} span clock: each stage
+   (body + tamper hook + invariant checks) runs between [Trace.enter]
+   and [Trace.stop], whose elapsed milliseconds become the
+   [Completed]/[Failed] payload — the same numbers that land in the
+   exported trace, so there is exactly one clock. *)
 let attempt ~circuit ~options ~tamper ~k mk_design =
   match (try Ok (mk_design ()) with e -> Error e) with
   | Error e ->
@@ -180,20 +191,30 @@ let attempt ~circuit ~options ~tamper ~k mk_design =
         match !error with
         | Some _ -> log := (stage, Skipped) :: !log
         | None ->
-          let t0 = Unix.gettimeofday () in
-          let ms () = 1000.0 *. (Unix.gettimeofday () -. t0) in
+          let span =
+            Obs.Trace.enter
+              ~name:("stage." ^ stage_name stage)
+              ~attrs:
+                [ ("circuit", Obs.Json.String circuit);
+                  ("attempt", Obs.Json.Int (k + 1)) ]
+              ()
+          in
+          Obs.Metrics.incr m_stages_run;
           (try
              stage_body stage st;
              (match tamper with Some f -> f ~attempt:k stage st | None -> ());
              post_check ~circuit stage st;
-             log := (stage, Completed (ms ())) :: !log
+             log := (stage, Completed (Obs.Trace.stop span)) :: !log
            with
            | Stage_failure e ->
              error := Some e;
-             log := (stage, Failed (ms ())) :: !log
+             Obs.Metrics.incr m_stage_failures;
+             log := (stage, Failed (Obs.Trace.stop ~error:e.detail span)) :: !log
            | e ->
-             error := Some { stage; circuit; detail = describe_exn e };
-             log := (stage, Failed (ms ())) :: !log))
+             let detail = describe_exn e in
+             error := Some { stage; circuit; detail };
+             Obs.Metrics.incr m_stage_failures;
+             log := (stage, Failed (Obs.Trace.stop ~error:detail span)) :: !log))
       all_stages;
     (List.rev !log, Some st, !error)
 
@@ -219,8 +240,10 @@ let run ?(policy = Fail_fast) ?(retries = default_retries) ?(options = P.default
              Some { stage = Sta; circuit; detail = "internal: incomplete final state" };
            state; result = None })
     | Some e ->
-      if policy = Recover && k < retries && seed_sensitive e.stage then
+      if policy = Recover && k < retries && seed_sensitive e.stage then begin
+        Obs.Metrics.incr m_retries;
         go (k + 1) { options with P.seed = reseed options.P.seed (k + 1) }
+      end
       else
         { circuit; policy; attempts = k + 1; stage_log = log; error = Some e;
           state = (if policy = Fail_fast then None else state); result = None }

@@ -49,7 +49,9 @@ val policy_name : policy -> string
 val policy_of_string : string -> policy option
 
 type stage_status =
-  | Completed of float  (** wall-clock ms *)
+  | Completed of float
+      (** elapsed ms, measured by the {!Obs.Trace} span clock (the same
+          timing that appears in an exported trace) *)
   | Failed of float
   | Skipped
 

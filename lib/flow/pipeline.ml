@@ -85,8 +85,16 @@ let need what = function
   | Some v -> v
   | None -> invalid_arg ("Flow.Pipeline: stage run out of order, missing " ^ what)
 
+(* every stage body runs inside a span, so guarded and unguarded runs
+   alike show up in traces with the kernels nested underneath *)
+let stage_span st name f =
+  Obs.Trace.with_span ~name:("pipeline." ^ name)
+    ~attrs:[ ("tp_percent", Obs.Json.Float st.s_options.tp_percent) ]
+    f
+
 (* --- step 1: TPI and scan insertion --- *)
 let stage_tpi_scan st =
+  stage_span st "tpi-scan" @@ fun () ->
   let d = st.s_design and options = st.s_options in
   let ffs_before = List.length (Design.ffs d) in
   let tp_count =
@@ -100,12 +108,14 @@ let stage_tpi_scan st =
 
 (* --- step 2: floorplanning and placement --- *)
 let stage_place st =
+  stage_span st "place" @@ fun () ->
   let d = st.s_design and options = st.s_options in
   let fp = Layout.Floorplan.create ~utilization:options.utilization d in
   st.s_placement <- Some (Layout.Place.run ~seed:options.seed d fp)
 
 (* --- step 3: layout-driven scan reordering, then ATPG --- *)
 let stage_reorder_atpg st =
+  stage_span st "reorder-atpg" @@ fun () ->
   let d = st.s_design and options = st.s_options in
   let placement = need "placement" st.s_placement in
   let position iid = Layout.Place.position placement iid in
@@ -132,24 +142,29 @@ let stage_reorder_atpg st =
 
 (* --- step 4: ECO (reorder buffers), clock trees, filler, routing --- *)
 let stage_eco_route st =
+  stage_span st "eco-cts-route" @@ fun () ->
   let placement = need "placement" st.s_placement in
   let reorder = need "reorder" st.s_reorder in
   List.iter
     (fun (iid, near) -> Layout.Eco.add_cell placement ~inst:iid ~near)
     reorder.Scan.Reorder.new_buffers;
-  st.s_cts <- Some (Layout.Cts.run placement);
-  st.s_drc <- Some (Layout.Drc.fix_max_cap placement);
-  st.s_filler <- Some (Layout.Filler.run placement);
+  st.s_cts <- Some (Obs.Trace.with_span ~name:"layout.cts" (fun () -> Layout.Cts.run placement));
+  st.s_drc <-
+    Some (Obs.Trace.with_span ~name:"layout.drc" (fun () -> Layout.Drc.fix_max_cap placement));
+  st.s_filler <-
+    Some (Obs.Trace.with_span ~name:"layout.filler" (fun () -> Layout.Filler.run placement));
   st.s_route <- Some (Layout.Route.run placement)
 
 (* --- step 5: extraction --- *)
 let stage_extract st =
+  stage_span st "extract" @@ fun () ->
   let placement = need "placement" st.s_placement in
   let route = need "route" st.s_route in
   st.s_rc <- Some (Layout.Extract.run placement route)
 
 (* --- step 6: static timing analysis --- *)
 let stage_sta st =
+  stage_span st "sta" @@ fun () ->
   let placement = need "placement" st.s_placement in
   let rc = need "rc" st.s_rc in
   st.s_sta <- Some (Sta.Analysis.run placement rc)

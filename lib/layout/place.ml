@@ -26,6 +26,12 @@ let ensure_capacity t n =
    later and carry no placement signal *)
 let max_fanout_considered = 64
 
+let m_fm_passes = Obs.Metrics.counter "place.fm_passes"
+let m_fm_moves = Obs.Metrics.counter "place.fm_moves"
+let m_legalize_moves = Obs.Metrics.counter "place.legalize_moves"
+let m_legalize_spills = Obs.Metrics.counter "place.legalize_spills"
+let h_region_cells = Obs.Metrics.histogram "place.region_cells"
+
 type hypergraph = {
   cell_nets : int array array;  (* movable index -> net ids *)
   net_cells : int array array;  (* net id -> movable indexes *)
@@ -76,6 +82,7 @@ let build_hypergraph (d : Design.t) =
 let fm_pass h ~members ~side ~ext ~rng =
   let m = Array.length members in
   if m > 2 then begin
+    Obs.Metrics.incr m_fm_passes;
     let in_region = Hashtbl.create m in
     Array.iteri (fun k c -> Hashtbl.replace in_region c k) members;
     (* net pin counts per side: region pins plus locked external pins *)
@@ -189,6 +196,7 @@ let fm_pass h ~members ~side ~ext ~rng =
             Hashtbl.replace nets nid (a, b))
           h.cell_nets.(c);
         side.(c) <- not side.(c);
+        Obs.Metrics.incr m_fm_moves;
         moves.(!moved) <- c;
         incr moved;
         if !score > !best_score then begin
@@ -274,6 +282,7 @@ let run ?(seed = 0x914C) d fp =
   let region_of = Array.make m (-1) in
   let queue = Queue.create () in
   let process members (rect : Rect.t) depth =
+    Obs.Metrics.observe h_region_cells (float_of_int (Array.length members));
     if Array.length members <= 4 || depth > 26 then begin
       let c = Rect.center rect in
       Array.iter (fun k -> target.(k) <- c) members
@@ -323,15 +332,18 @@ let run ?(seed = 0x914C) d fp =
       end
     end
   in
-  if m > 0 then begin
-    Array.iteri (fun k _ -> target.(k) <- Rect.center fp.Floorplan.core) target;
-    Queue.add (Array.init m Fun.id, fp.Floorplan.core, 0) queue;
-    while not (Queue.is_empty queue) do
-      let members, rect, depth = Queue.pop queue in
-      process members rect depth
-    done
-  end;
+  if m > 0 then
+    Obs.Trace.with_span ~name:"place.partition"
+      ~attrs:[ ("cells", Obs.Json.Int m) ]
+      (fun () ->
+        Array.iteri (fun k _ -> target.(k) <- Rect.center fp.Floorplan.core) target;
+        Queue.add (Array.init m Fun.id, fp.Floorplan.core, 0) queue;
+        while not (Queue.is_empty queue) do
+          let members, rect, depth = Queue.pop queue in
+          process members rect depth
+        done);
   (* ---- legalization onto rows ---- *)
+  Obs.Trace.with_span ~name:"place.legalize" (fun () ->
   let ni = Design.num_insts d in
   let x = Array.make ni Float.nan in
   let row = Array.make ni (-1) in
@@ -368,6 +380,8 @@ let run ?(seed = 0x914C) d fp =
           backward r
         end
       in
+      Obs.Metrics.incr m_legalize_moves;
+      if r <> max 0 target then Obs.Metrics.incr m_legalize_spills;
       filled.(r) <- filled.(r) +. w;
       row_members.(r) <- k :: row_members.(r))
     order;
@@ -391,7 +405,7 @@ let run ?(seed = 0x914C) d fp =
         members;
       row_used.(r) <- used)
     row_members;
-  { design = d; fp; x; row; row_used }
+  { design = d; fp; x; row; row_used })
 
 let is_placed t iid = iid < Array.length t.row && t.row.(iid) >= 0
 

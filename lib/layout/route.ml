@@ -25,6 +25,11 @@ type t = {
 
 let prim_threshold = 256
 
+let m_segments = Obs.Metrics.counter "route.segments"
+let m_nets_routed = Obs.Metrics.counter "route.nets_routed"
+let g_overflowed = Obs.Metrics.gauge "route.overflowed_gcells"
+let h_net_terminals = Obs.Metrics.histogram "route.net_terminals"
+
 (* exact RMST by Prim's algorithm, O(k^2) *)
 let prim (pts : Point.t array) =
   let k = Array.length pts in
@@ -90,6 +95,9 @@ let run ?(gcell_um = 20.0) ?(capacity = 14) (pl : Place.t) =
   in
   let routes = Array.make (Design.num_nets d) None in
   let total = ref 0.0 in
+  Obs.Trace.with_span ~name:"route.nets"
+    ~attrs:[ ("nets", Obs.Json.Int (Design.num_nets d)) ]
+    (fun () ->
   Design.iter_nets d (fun n ->
       let terms = ref [] in
       (match n.Design.driver with
@@ -111,6 +119,7 @@ let run ?(gcell_um = 20.0) ?(capacity = 14) (pl : Place.t) =
         (* driver collected first, so it ends up last after consing *)
         let terminals = Array.of_list (List.rev !terms) in
         if Array.length terminals >= 2 then begin
+          Obs.Metrics.observe h_net_terminals (float_of_int (Array.length terminals));
           let pts = Array.map (fun t -> t.t_point) terminals in
           let parent =
             if Array.length pts <= prim_threshold then prim pts else snake pts
@@ -121,21 +130,24 @@ let run ?(gcell_um = 20.0) ?(capacity = 14) (pl : Place.t) =
               if p >= 0 then begin
                 let a = pts.(v) and b = pts.(p) in
                 length := !length +. Point.manhattan a b;
+                Obs.Metrics.incr m_segments;
                 (* L route: horizontal first, then vertical *)
                 add_h a.Point.y a.Point.x b.Point.x;
                 add_v b.Point.x a.Point.y b.Point.y
               end)
             parent;
           total := !total +. !length;
+          Obs.Metrics.incr m_nets_routed;
           routes.(n.Design.nid) <- Some { terminals; parent; length = !length }
         end
-      end);
+      end));
   let overflowed = ref 0 in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
       if usage_h.(r).(c) > capacity || usage_v.(r).(c) > capacity then incr overflowed
     done
   done;
+  Obs.Metrics.set g_overflowed (float_of_int !overflowed);
   { routes;
     total_wirelength = !total;
     gcell_um;

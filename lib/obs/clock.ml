@@ -1,0 +1,3 @@
+let now_us () = 1e6 *. Unix.gettimeofday ()
+
+let ms_since start_us = (now_us () -. start_us) /. 1000.0

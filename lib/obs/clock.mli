@@ -1,0 +1,10 @@
+(** The one clock of the observability layer. Every duration in the
+    system — span timings, {!Flow.Guard} stage statuses, profile tables —
+    derives from this module, so numbers from different layers are
+    directly comparable. *)
+
+val now_us : unit -> float
+(** Current wall-clock time in microseconds (Chrome trace-event unit). *)
+
+val ms_since : float -> float
+(** Milliseconds elapsed since a [now_us] sample. *)

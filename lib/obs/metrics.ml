@@ -1,0 +1,116 @@
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  h_buckets : int array;  (* 64 log-2 buckets *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let intern table name make =
+  match Hashtbl.find_opt table name with
+  | Some v -> v
+  | None ->
+    let v = make () in
+    Hashtbl.replace table name v;
+    v
+
+let counter name = intern counters name (fun () -> { c_name = name; c_value = 0 })
+let add c k = c.c_value <- c.c_value + k
+let incr c = add c 1
+let value c = c.c_value
+
+let gauge name = intern gauges name (fun () -> { g_name = name; g_value = 0.0 })
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let histogram name =
+  intern histograms name (fun () ->
+      { h_name = name; h_buckets = Array.make 64 0; h_count = 0; h_sum = 0.0;
+        h_min = Float.infinity; h_max = Float.neg_infinity })
+
+let bucket_of v =
+  if Float.is_nan v || v <= 1.0 then 0
+  else if v >= 0x1p62 (* covers infinity: int_of_float inf is unspecified *) then 63
+  else
+    let b = int_of_float (Float.ceil (Float.log2 v)) in
+    if b < 1 then 1 else if b > 63 then 63 else b
+
+let bucket_upper k = if k >= 63 then Float.infinity else Float.pow 2.0 (float_of_int k)
+
+let observe h v =
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+let hist_bucket h k = h.h_buckets.(k)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.0) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.h_buckets 0 64 0;
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- Float.infinity;
+      h.h_max <- Float.neg_infinity)
+    histograms
+
+let sorted_fold table f =
+  let items = Hashtbl.fold (fun name v acc -> (name, v) :: acc) table [] in
+  List.map (fun (name, v) -> (name, f v)) (List.sort compare items)
+
+let hist_json h =
+  let buckets = ref [] in
+  for k = 63 downto 0 do
+    if h.h_buckets.(k) > 0 then
+      buckets :=
+        Json.Obj
+          [ ("le", Json.Float (bucket_upper k)); ("count", Json.Int h.h_buckets.(k)) ]
+        :: !buckets
+  done;
+  Json.Obj
+    ([ ("count", Json.Int h.h_count); ("sum", Json.Float h.h_sum) ]
+     @ (if h.h_count > 0 then
+          [ ("min", Json.Float h.h_min); ("max", Json.Float h.h_max) ]
+        else [])
+     @ [ ("buckets", Json.List !buckets) ])
+
+let snapshot () =
+  Json.Obj
+    [ ("counters", Json.Obj (sorted_fold counters (fun c -> Json.Int c.c_value)));
+      ("gauges", Json.Obj (sorted_fold gauges (fun g -> Json.Float g.g_value)));
+      ("histograms", Json.Obj (sorted_fold histograms hist_json)) ]
+
+let write_json path = Json.write_file path (snapshot ())
+
+let pp ppf () =
+  Format.fprintf ppf "@[<v>";
+  Hashtbl.fold (fun name c acc -> (name, c) :: acc) counters []
+  |> List.sort compare
+  |> List.iter (fun (name, c) ->
+         if c.c_value <> 0 then Format.fprintf ppf "%-32s %d@ " name c.c_value);
+  Hashtbl.fold (fun name g acc -> (name, g) :: acc) gauges []
+  |> List.sort compare
+  |> List.iter (fun (name, g) ->
+         if g.g_value <> 0.0 then Format.fprintf ppf "%-32s %.2f@ " name g.g_value);
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) histograms []
+  |> List.sort compare
+  |> List.iter (fun (name, h) ->
+         if h.h_count > 0 then
+           Format.fprintf ppf "%-32s n=%d sum=%.0f min=%.0f max=%.0f@ " name h.h_count
+             h.h_sum h.h_min h.h_max);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,55 @@
+(** Process-wide metrics registry: named counters, gauges and log-scale
+    histograms for the flow's kernels ([atpg.patterns_generated],
+    [place.fm_moves], [sta.arcs_evaluated], ...).
+
+    Handles are interned by name: [counter "x"] always returns the same
+    cell, so hot loops hoist the lookup and pay one integer add per
+    event. {!reset} zeroes values {e in place} — handles obtained
+    before a reset stay valid.
+
+    Naming convention: [<subsystem>.<what>], lowercase, snake_case
+    after the dot ([route.segments], [guard.stage_failures]). *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+val add : counter -> int -> unit
+val incr : counter -> unit
+val value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+
+val bucket_of : float -> int
+(** Log-2 bucket index of a sample: bucket 0 holds everything [<= 1.0]
+    (including zero, negatives and NaN), bucket [k >= 1] holds
+    [(2^(k-1), 2^k]], bucket 63 additionally holds everything larger
+    than [2^62]. *)
+
+val bucket_upper : int -> float
+(** Inclusive upper bound of a bucket ([2.0 ** k]; [infinity] for 63). *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_bucket : histogram -> int -> int
+(** Occupancy of one bucket. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registry membership and existing
+    handles are preserved). *)
+
+val snapshot : unit -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}], names
+    sorted, zero-valued metrics included, empty histogram buckets
+    omitted. *)
+
+val write_json : string -> unit
+
+val pp : Format.formatter -> unit -> unit
+(** Human-readable dump of every non-zero metric (the [-v] report). *)

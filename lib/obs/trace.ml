@@ -1,0 +1,207 @@
+type span = {
+  id : int;
+  parent : int;
+  depth : int;
+  name : string;
+  attrs : (string * Json.t) list;
+  start_us : float;
+  dur_us : float;
+  alloc_words : float;
+  error : string option;
+}
+
+let on = ref false
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+(* completed spans, newest first; (id, depth) stack of open spans *)
+let completed : span list ref = ref []
+let stack : (int * int) list ref = ref []
+let next_id = ref 0
+
+let reset () =
+  completed := [];
+  stack := [];
+  next_id := 0
+
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+type timer = {
+  t_start_us : float;
+  t_id : int;  (* -1 when not recording *)
+  t_parent : int;
+  t_depth : int;
+  t_name : string;
+  t_attrs : (string * Json.t) list;
+  t_alloc0 : float;
+}
+
+let enter ?(attrs = []) ~name () =
+  let start = Clock.now_us () in
+  if not !on then
+    { t_start_us = start; t_id = -1; t_parent = -1; t_depth = 0; t_name = name;
+      t_attrs = []; t_alloc0 = 0.0 }
+  else begin
+    let id = !next_id in
+    incr next_id;
+    let parent, depth =
+      match !stack with [] -> (-1, 0) | (pid, pdepth) :: _ -> (pid, pdepth + 1)
+    in
+    stack := (id, depth) :: !stack;
+    { t_start_us = start; t_id = id; t_parent = parent; t_depth = depth;
+      t_name = name; t_attrs = attrs; t_alloc0 = allocated_words () }
+  end
+
+let stop ?error t =
+  let ms = Clock.ms_since t.t_start_us in
+  if t.t_id >= 0 then begin
+    (* tolerate an unbalanced stop (a span closed out of order) by
+       removing the span wherever it sits *)
+    (match !stack with
+     | (id, _) :: rest when id = t.t_id -> stack := rest
+     | _ -> stack := List.filter (fun (id, _) -> id <> t.t_id) !stack);
+    completed :=
+      { id = t.t_id; parent = t.t_parent; depth = t.t_depth; name = t.t_name;
+        attrs = t.t_attrs; start_us = t.t_start_us; dur_us = 1000.0 *. ms;
+        alloc_words = Float.max 0.0 (allocated_words () -. t.t_alloc0); error }
+      :: !completed
+  end;
+  ms
+
+let with_span ?attrs ~name f =
+  if not !on then f ()
+  else begin
+    let t = enter ?attrs ~name () in
+    match f () with
+    | v ->
+      ignore (stop t);
+      v
+    | exception e ->
+      ignore (stop ~error:(Printexc.to_string e) t);
+      raise e
+  end
+
+(* spans are recorded at stop time; sort by id to restore start order *)
+let spans () =
+  List.sort (fun a b -> compare a.id b.id) !completed
+
+(* ---- export ---- *)
+
+let span_fields sp =
+  let base =
+    [ ("name", Json.String sp.name);
+      ("id", Json.Int sp.id);
+      ("parent", Json.Int sp.parent);
+      ("depth", Json.Int sp.depth);
+      ("start_us", Json.Float sp.start_us);
+      ("dur_us", Json.Float sp.dur_us);
+      ("alloc_words", Json.Float sp.alloc_words) ]
+  in
+  let base =
+    match sp.error with
+    | Some e -> base @ [ ("error", Json.String e) ]
+    | None -> base
+  in
+  match sp.attrs with [] -> base | attrs -> base @ [ ("attrs", Json.Obj attrs) ]
+
+let chrome_event sp =
+  let args =
+    [ ("alloc_words", Json.Float sp.alloc_words) ]
+    @ (match sp.error with Some e -> [ ("error", Json.String e) ] | None -> [])
+    @ sp.attrs
+  in
+  Json.Obj
+    [ ("name", Json.String sp.name);
+      ("cat", Json.String "flow");
+      ("ph", Json.String "X");
+      ("ts", Json.Float sp.start_us);
+      ("dur", Json.Float sp.dur_us);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("args", Json.Obj args) ]
+
+let chrome_json () =
+  Json.Obj
+    [ ("traceEvents", Json.List (List.map chrome_event (spans ())));
+      ("displayTimeUnit", Json.String "ms") ]
+
+let jsonl () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun sp ->
+      Buffer.add_string buf (Json.to_string (Json.Obj (span_fields sp)));
+      Buffer.add_char buf '\n')
+    (spans ());
+  Buffer.contents buf
+
+let write_chrome path = Json.write_file path (chrome_json ())
+
+let write_jsonl path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (jsonl ()))
+
+(* ---- profiles ---- *)
+
+type agg = {
+  a_name : string;
+  a_calls : int;
+  a_total_us : float;
+  a_self_us : float;
+  a_alloc_words : float;
+  a_errors : int;
+}
+
+let aggregate () =
+  let sps = spans () in
+  (* time inside child spans, by parent id *)
+  let child_us = Hashtbl.create 64 in
+  List.iter
+    (fun sp ->
+      if sp.parent >= 0 then
+        Hashtbl.replace child_us sp.parent
+          (sp.dur_us
+           +. (match Hashtbl.find_opt child_us sp.parent with Some v -> v | None -> 0.0)))
+    sps;
+  let by_name : (string, agg) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun sp ->
+      let children =
+        match Hashtbl.find_opt child_us sp.id with Some v -> v | None -> 0.0
+      in
+      let self = Float.max 0.0 (sp.dur_us -. children) in
+      let prev =
+        match Hashtbl.find_opt by_name sp.name with
+        | Some a -> a
+        | None ->
+          { a_name = sp.name; a_calls = 0; a_total_us = 0.0; a_self_us = 0.0;
+            a_alloc_words = 0.0; a_errors = 0 }
+      in
+      Hashtbl.replace by_name sp.name
+        { prev with
+          a_calls = prev.a_calls + 1;
+          a_total_us = prev.a_total_us +. sp.dur_us;
+          a_self_us = prev.a_self_us +. self;
+          a_alloc_words = prev.a_alloc_words +. sp.alloc_words;
+          a_errors = prev.a_errors + (if sp.error = None then 0 else 1) })
+    sps;
+  let all = Hashtbl.fold (fun _ a acc -> a :: acc) by_name [] in
+  List.sort (fun a b -> compare b.a_self_us a.a_self_us) all
+
+let pp_profile ppf () =
+  let aggs = aggregate () in
+  let grand_self = List.fold_left (fun acc a -> acc +. a.a_self_us) 0.0 aggs in
+  Format.fprintf ppf "@[<v>%-28s %6s %12s %12s %6s %12s@ " "kernel" "calls"
+    "total ms" "self ms" "self%" "alloc kw";
+  Format.fprintf ppf "%s@ " (String.make 80 '-');
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "%-28s %6d %12.2f %12.2f %5.1f%% %12.1f%s@ " a.a_name
+        a.a_calls (a.a_total_us /. 1000.0) (a.a_self_us /. 1000.0)
+        (if grand_self > 0.0 then 100.0 *. a.a_self_us /. grand_self else 0.0)
+        (a.a_alloc_words /. 1000.0)
+        (if a.a_errors > 0 then Printf.sprintf "  (%d error)" a.a_errors else ""))
+    aggs;
+  Format.fprintf ppf "@]"

@@ -9,6 +9,10 @@ type result = {
   wirelength_after : float;
 }
 
+let m_se_buffers = Obs.Metrics.counter "scan.se_buffers_added"
+let g_wl_saved = Obs.Metrics.gauge "scan.wirelength_saved_um"
+let h_chain_length = Obs.Metrics.histogram "scan.chain_length"
+
 let chain_wirelength (t : Chains.t) ~position =
   Array.fold_left
     (fun acc chain ->
@@ -92,11 +96,27 @@ let add_se_buffers (d : Design.t) ~position ~max_se_fanout =
     end
 
 let run ?(max_se_fanout = 32) (d : Design.t) ~config ~position =
-  let before_plan = Chains.plan d config in
+  let before_plan =
+    Obs.Trace.with_span ~name:"scan.chain_plan" (fun () -> Chains.plan d config)
+  in
   let wirelength_before = chain_wirelength before_plan ~position in
-  let order = snake_order d ~position ~band_height:(Stdcell.Library.row_height *. 4.0) in
-  let plan = Chains.of_order config order in
-  Chains.stitch d plan;
+  let plan =
+    Obs.Trace.with_span ~name:"scan.snake_reorder" (fun () ->
+        let order =
+          snake_order d ~position ~band_height:(Stdcell.Library.row_height *. 4.0)
+        in
+        let plan = Chains.of_order config order in
+        Chains.stitch d plan;
+        plan)
+  in
   let wirelength_after = chain_wirelength plan ~position in
-  let new_buffers = add_se_buffers d ~position ~max_se_fanout in
+  let new_buffers =
+    Obs.Trace.with_span ~name:"scan.se_buffers" (fun () ->
+        add_se_buffers d ~position ~max_se_fanout)
+  in
+  Array.iter
+    (fun chain -> Obs.Metrics.observe h_chain_length (float_of_int (Array.length chain)))
+    plan.Chains.chains;
+  Obs.Metrics.add m_se_buffers (List.length new_buffers);
+  Obs.Metrics.set g_wl_saved (wirelength_before -. wirelength_after);
   { plan; new_buffers; wirelength_before; wirelength_after }

@@ -9,6 +9,10 @@ type config = {
 
 let default_config = { input_slew_ps = 100.0; input_arrival_ps = 0.0 }
 
+let m_arcs = Obs.Metrics.counter "sta.arcs_evaluated"
+let m_endpoints = Obs.Metrics.counter "sta.endpoints"
+let g_slow_nodes = Obs.Metrics.gauge "sta.slow_nodes"
+
 exception Combinational_cycle of { inst : int; iname : string }
 exception Backtrack_diverged of { net : int; nname : string }
 
@@ -144,12 +148,14 @@ let run ?(config = default_config) (pl : Layout.Place.t) (rc : Layout.Extract.ne
   let pin_slew nid iid pin =
     slew.(nid) +. (2.0 *. Layout.Extract.sink_elmore rc.(nid) ~inst:iid ~pin)
   in
+  Obs.Trace.with_span ~name:"sta.propagate" (fun () ->
   while not (Queue.is_empty queue) do
     let iid = Queue.pop queue in
     incr processed;
     let i = Design.inst d iid in
     let cell = i.Design.cell in
     let update_out out_net cand_arr cand_slew pin extrapolated =
+      Obs.Metrics.incr m_arcs;
       if cand_arr > arrival.(out_net) then begin
         arrival.(out_net) <- cand_arr;
         slew.(out_net) <- cand_slew;
@@ -216,8 +222,9 @@ let run ?(config = default_config) (pl : Layout.Place.t) (rc : Layout.Extract.ne
           offender := i.Design.id);
     let iname = if !offender >= 0 then (Design.inst d !offender).Design.iname else "?" in
     raise (Combinational_cycle { inst = !offender; iname })
-  end;
+  end);
   let slow_nodes = Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 slow_flag in
+  Obs.Metrics.set g_slow_nodes (float_of_int slow_nodes);
   (* ---- endpoints and critical paths ---- *)
   (* backtrack from a (net, sink inst, sink pin) to the path's start *)
   let backtrack end_net end_inst end_pin =
@@ -268,6 +275,8 @@ let run ?(config = default_config) (pl : Layout.Place.t) (rc : Layout.Extract.ne
     | None -> 0.0
   in
   (* candidate endpoints: every sequential D pin (incl. TSFF) *)
+  let per_domain, worst =
+    Obs.Trace.with_span ~name:"sta.paths" (fun () ->
   let candidates = ref [] in
   Design.iter_insts d (fun i ->
       if i.Design.cell.Cell.sequential then begin
@@ -281,6 +290,7 @@ let run ?(config = default_config) (pl : Layout.Place.t) (rc : Layout.Extract.ne
           end
         | None -> ()
       end);
+  Obs.Metrics.add m_endpoints (List.length !candidates);
   let sorted = List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare b a) !candidates in
   let num_domains = Array.length d.Design.domains in
   let per_domain = Array.make (max num_domains 1) None in
@@ -355,6 +365,8 @@ let run ?(config = default_config) (pl : Layout.Place.t) (rc : Layout.Extract.ne
         | Some a, Some b -> if b.t_cp > a.t_cp then Some b else Some a
         | Some a, None -> Some a)
       None per_domain
+  in
+  (per_domain, worst))
   in
   { arrival; slew; slow_nodes; per_domain; worst }
 

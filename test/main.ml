@@ -18,4 +18,5 @@ let () =
       ("properties", Test_props.suite);
       ("edge-cases", Test_more.suite);
       ("flow", Test_flow.suite);
-      ("guard", Test_guard.suite) ]
+      ("guard", Test_guard.suite);
+      ("obs", Test_obs.suite) ]

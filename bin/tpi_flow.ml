@@ -71,6 +71,18 @@ let verbose_arg =
   let doc = "Print per-stage span timings and non-zero metrics after the sweep." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel kernels (fault simulation, STA \
+     propagation, sweep fan-out). Results are bit-identical for every \
+     value; 1 (the default) runs fully sequentially."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* a pool only when asked for: -j 1 never spawns a domain *)
+let with_jobs jobs f =
+  if jobs <= 1 then f None else Core.Pool.with_pool ~domains:jobs (fun p -> f (Some p))
+
 (* validate everything that can fail *before* any side-effecting export,
    so a bad flag never leaves partial output files behind *)
 let validated ?scale ~circuit ~levels () =
@@ -84,12 +96,12 @@ let validated ?scale ~circuit ~levels () =
 (* guarded sweep: under fail-fast the sweep stops at the first failed
    level; under recover/degrade every level is attempted and failures
    become degraded rows *)
-let guarded_sweep spec ~policy ~retries ~atpg levels =
+let guarded_sweep ?pool spec ~policy ~retries ~atpg levels =
   let rec loop acc = function
     | [] -> List.rev acc
     | tp_pct :: rest ->
       let g =
-        Core.Experiment.run_one_guarded ~policy ~retries ~with_atpg:atpg spec ~tp_pct
+        Core.Experiment.run_one_guarded ?pool ~policy ~retries ~with_atpg:atpg spec ~tp_pct
       in
       let failed = g.Core.Experiment.g_report.Core.Guard.result = None in
       if failed && policy = Core.Guard.Fail_fast then List.rev (g :: acc)
@@ -98,7 +110,7 @@ let guarded_sweep spec ~policy ~retries ~atpg levels =
   loop [] levels
 
 let run circuit scale levels atpg tables svg_dir def_file lib_file policy retries
-    trace_file metrics_file verbose =
+    trace_file metrics_file verbose jobs =
   match validated ?scale ~circuit ~levels () with
   | Error msg ->
     Format.eprintf "tpi_flow: %s@." msg;
@@ -110,7 +122,9 @@ let run circuit scale levels atpg tables svg_dir def_file lib_file policy retrie
      Printf.printf "wrote %s\n" path
    | None -> ());
   if trace_file <> None then Core.Trace.enable ();
-  let grows = guarded_sweep spec ~policy ~retries ~atpg levels in
+  let grows =
+    with_jobs jobs (fun pool -> guarded_sweep ?pool spec ~policy ~retries ~atpg levels)
+  in
   let rows = Core.Experiment.completed_rows grows in
   if rows <> [] then begin
     if List.mem 1 tables && atpg then print_string (Core.Report.table1 rows);
@@ -167,9 +181,9 @@ let selftest_gates_arg =
   let doc = "Gates in the injection-target circuit." in
   Arg.(value & opt int 500 & info [ "gates" ] ~docv:"N" ~doc)
 
-let selftest ffs gates =
+let selftest ffs gates jobs =
   Printf.printf "fault-injection matrix (%d classes):\n" (List.length Core.Inject.all);
-  let outcomes = Core.Inject.selftest ~ffs ~gates () in
+  let outcomes = with_jobs jobs (fun pool -> Core.Inject.selftest ?pool ~ffs ~gates ()) in
   List.iter (fun o -> Format.printf "  %a@." Core.Inject.pp_outcome o) outcomes;
   let recover_ok = Core.Inject.recover_converges () in
   let degrade_ok = Core.Inject.degrade_keeps_partials () in
@@ -182,14 +196,16 @@ let selftest ffs gates =
   if Core.Inject.all_detected outcomes && recover_ok && degrade_ok then 0 else 1
 
 (* profile: run a traced sweep and print the self-time kernel ranking *)
-let profile circuit scale levels atpg policy retries trace_file =
+let profile circuit scale levels atpg policy retries trace_file jobs =
   match validated ?scale ~circuit ~levels () with
   | Error msg ->
     Format.eprintf "tpi_flow: %s@." msg;
     2
   | Ok spec ->
     Core.Trace.enable ();
-    let grows = guarded_sweep spec ~policy ~retries ~atpg levels in
+    let grows =
+      with_jobs jobs (fun pool -> guarded_sweep ?pool spec ~policy ~retries ~atpg levels)
+    in
     let completed = List.length (Core.Experiment.completed_rows grows) in
     Format.printf "profile: %s, levels %s, %d/%d levels completed, %d spans@.@."
       circuit
@@ -207,11 +223,12 @@ let profile circuit scale levels atpg policy retries trace_file =
 let run_term =
   Term.(const run $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ tables_arg
         $ svg_arg $ def_arg $ lib_arg $ policy_arg $ retries_arg
-        $ trace_arg $ metrics_arg $ verbose_arg)
+        $ trace_arg $ metrics_arg $ verbose_arg $ jobs_arg)
 
 let selftest_cmd =
   let doc = "Run the guarded-flow fault-injection selftest (10 mutation classes)." in
-  Cmd.v (Cmd.info "selftest" ~doc) Term.(const selftest $ selftest_ffs_arg $ selftest_gates_arg)
+  Cmd.v (Cmd.info "selftest" ~doc)
+    Term.(const selftest $ selftest_ffs_arg $ selftest_gates_arg $ jobs_arg)
 
 let profile_cmd =
   let doc =
@@ -220,7 +237,7 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const profile $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ policy_arg
-          $ retries_arg $ trace_arg)
+          $ retries_arg $ trace_arg $ jobs_arg)
 
 let cmd =
   let doc = "Reproduce 'Impact of Test Point Insertion on Silicon Area and Timing during Layout' (DATE 2004)" in

@@ -18,6 +18,14 @@ let create (m : Cmodel.t) =
   let max_level =
     Array.fold_left (fun acc (g : Cmodel.gate) -> max acc g.Cmodel.g_level) 0 m.Cmodel.gates
   in
+  (* the scratch buffer must hold the widest gate in *this* model, not a
+     library-wide guess: a model with a wider-than-expected gate used to
+     overflow the historical [Array.make 4] *)
+  let max_arity =
+    Array.fold_left
+      (fun acc (g : Cmodel.gate) -> max acc (Array.length g.Cmodel.g_ins))
+      4 m.Cmodel.gates
+  in
   { m;
     val_good = Array.make nn 0L;
     val_fault = Array.make nn 0L;
@@ -26,7 +34,7 @@ let create (m : Cmodel.t) =
     scheduled = Array.make (Array.length m.Cmodel.gates) false;
     buckets = Array.make (max_level + 2) [];
     max_level;
-    ins_buf = Array.make 4 0L }
+    ins_buf = Array.make max_arity 0L }
 
 let model t = t.m
 

@@ -56,8 +56,9 @@ let random_words rng ns =
 (* Reverse-order static compaction: re-simulate the final pattern set newest
    first (in batches of 64) and keep only patterns that detect something not
    already covered by a kept pattern. Late patterns carry the hard targeted
-   faults, so they survive and redundant early patterns fall out. *)
-let static_compact sim (universe : Fault.universe) patterns =
+   faults, so they survive and redundant early patterns fall out.
+   [masks_for] is the (possibly domain-parallel) PPSFP fan-out of [run]. *)
+let static_compact masks_for (universe : Fault.universe) patterns =
   let live =
     Array.of_seq
       (Seq.filter
@@ -82,12 +83,7 @@ let static_compact sim (universe : Fault.universe) patterns =
           words.(s) <- Int64.logor words.(s) (Int64.shift_left 1L bit)
       done
     done;
-    Fsim.set_sources sim words;
-    let masks =
-      Array.mapi
-        (fun i f -> if undetected.(i) then Fsim.detect_mask sim f else 0L)
-        live
-    in
+    let masks = masks_for ?keep:(Some (fun i -> undetected.(i))) words live in
     for bit = width - 1 downto 0 do
       let adds = ref false in
       Array.iteri
@@ -108,10 +104,48 @@ let static_compact sim (universe : Fault.universe) patterns =
   done;
   !out
 
-let run ?(config = default_config) (m : Cmodel.t) =
+(* PPSFP fan-out threshold: below this many live faults the per-domain
+   good-circuit resimulation would dominate, so stay sequential *)
+let fanout_min = 32
+
+let run ?pool ?(config = default_config) (m : Cmodel.t) =
   let rng = Rng.create config.seed in
   let universe = Obs.Trace.with_span ~name:"atpg.fault_build" (fun () -> Fault.build m) in
   let sim = Fsim.create m in
+  (* one simulator replica per pool slot (slot 0 reuses [sim]), created
+     lazily so sequential runs and ATPG-free flows pay nothing *)
+  let replicas =
+    lazy
+      (match pool with
+       | None -> [| sim |]
+       | Some p ->
+         Array.init (Par.Pool.size p) (fun s -> if s = 0 then sim else Fsim.create m))
+  in
+  (* Apply the 64-pattern batch [words] and compute each fault's detection
+     mask, in fault order. With a pool, the fault array is split into fixed
+     contiguous chunks; each domain re-runs the good-circuit pass on its own
+     replica and walks its chunk. Masks land by fault index and every
+     consumer folds them in fault order, so drop decisions and pattern
+     selection are bit-identical to the sequential run. *)
+  let masks_for ?(keep = fun _ -> true) words (faults : Fault.fault array) =
+    let n = Array.length faults in
+    let out = Array.make n 0L in
+    (match pool with
+     | Some p when n >= fanout_min && Par.Pool.size p > 1 ->
+       let sims = Lazy.force replicas in
+       Par.Pool.iter_slots p ~n (fun ~slot ~lo ~hi ->
+           let s = sims.(slot) in
+           Fsim.set_sources s words;
+           for i = lo to hi - 1 do
+             if keep i then out.(i) <- Fsim.detect_mask s faults.(i)
+           done)
+     | _ ->
+       Fsim.set_sources sim words;
+       for i = 0 to n - 1 do
+         if keep i then out.(i) <- Fsim.detect_mask sim faults.(i)
+       done);
+    out
+  in
   let ns = Array.length m.Cmodel.sources in
   let patterns = ref [] in
   let random_patterns = ref 0 and deterministic_patterns = ref 0 in
@@ -141,9 +175,10 @@ let run ?(config = default_config) (m : Cmodel.t) =
     if !batches > config.random_batches_max || !live = [] then stop := true
     else begin
       let words = random_words rng ns in
-      Fsim.set_sources sim words;
+      let larr = Array.of_list !live in
+      let marr = masks_for words larr in
       let best = ref 0 and counts = Array.make 64 0 in
-      let masks = List.map (fun f -> (f, Fsim.detect_mask sim f)) !live in
+      let masks = Array.to_list (Array.map2 (fun f m -> (f, m)) larr marr) in
       List.iter
         (fun (_, m) ->
           for bit = 0 to 63 do
@@ -225,8 +260,9 @@ let run ?(config = default_config) (m : Cmodel.t) =
           (* 64 random fills of the final cube; keep the most serendipitous *)
           let words = random_words rng ns in
           List.iter (fun (s, v) -> words.(s) <- (if v then -1L else 0L)) !cube;
-          Fsim.set_sources sim words;
-          let masks = List.map (fun g -> (g, Fsim.detect_mask sim g)) !live in
+          let larr = Array.of_list !live in
+          let marr = masks_for words larr in
+          let masks = Array.to_list (Array.map2 (fun g mask -> (g, mask)) larr marr) in
           let counts = Array.make 64 0 in
           List.iter
             (fun (_, mask) ->
@@ -258,7 +294,7 @@ let run ?(config = default_config) (m : Cmodel.t) =
   let fault_coverage, fault_efficiency = Fault.coverage universe in
   let patterns =
     Obs.Trace.with_span ~name:"atpg.static_compact" (fun () ->
-        static_compact sim universe (List.rev !patterns))
+        static_compact masks_for universe (List.rev !patterns))
   in
   { patterns;
     universe;

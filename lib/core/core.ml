@@ -49,6 +49,7 @@ module Layout_check = Layout.Check
 module Lfsr = Lbist.Lfsr
 module Misr = Lbist.Misr
 module Bist = Lbist.Bist
+module Pool = Par.Pool
 module Trace = Obs.Trace
 module Metrics = Obs.Metrics
 module Json = Obs.Json

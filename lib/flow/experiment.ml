@@ -29,21 +29,33 @@ type row = {
   result : Pipeline.result;
 }
 
-let options_of spec ~with_atpg ~tp_pct =
+let options_of ?pool spec ~with_atpg ~tp_pct =
   { Pipeline.default_options with
     Pipeline.tp_percent = float_of_int tp_pct;
     chain_config = spec.chain_config;
     utilization = spec.utilization;
-    run_atpg = with_atpg }
+    run_atpg = with_atpg;
+    pool }
 
-let run_one ?(with_atpg = true) spec ~tp_pct =
+let run_one ?pool ?(with_atpg = true) spec ~tp_pct =
   let d = Circuits.Bench.by_name spec.circuit ~scale:spec.scale in
-  let result = Pipeline.run ~options:(options_of spec ~with_atpg ~tp_pct) d in
+  let result = Pipeline.run ~options:(options_of ?pool spec ~with_atpg ~tp_pct) d in
   { spec; tp_pct; result }
 
-let sweep ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
+(* fan the (independent, each internally deterministic) levels across the
+   pool; parallel_map keeps results in level order, and a nested Pool.run
+   inside a worker-side pipeline degrades to inline, so the rows are
+   identical to the sequential sweep whichever layer wins the pool *)
+let fan_levels pool tp_levels f =
+  match pool with
+  | Some p when Par.Pool.size p > 1 && List.length tp_levels > 1 ->
+    let arr = Array.of_list tp_levels in
+    Array.to_list (Par.Pool.parallel_map p ~n:(Array.length arr) (fun i -> f arr.(i)))
+  | _ -> List.map f tp_levels
+
+let sweep ?pool ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
   let spec = spec_for ?scale circuit in
-  List.map (fun tp_pct -> run_one ~with_atpg spec ~tp_pct) tp_levels
+  fan_levels pool tp_levels (fun tp_pct -> run_one ?pool ~with_atpg spec ~tp_pct)
 
 type guarded_row = {
   g_spec : spec;
@@ -51,22 +63,21 @@ type guarded_row = {
   g_report : Guard.report;
 }
 
-let run_one_guarded ?policy ?retries ?tamper ?(with_atpg = true) spec ~tp_pct =
+let run_one_guarded ?pool ?policy ?retries ?tamper ?(with_atpg = true) spec ~tp_pct =
   let report =
     Guard.run ?policy ?retries ?tamper ~circuit:spec.circuit
-      ~options:(options_of spec ~with_atpg ~tp_pct)
+      ~options:(options_of ?pool spec ~with_atpg ~tp_pct)
       (fun () -> Circuits.Bench.by_name spec.circuit ~scale:spec.scale)
   in
   { g_spec = spec; g_tp_pct = tp_pct; g_report = report }
 
 (* guarded sweep: a failed level becomes a degraded row instead of killing
    the whole experiment matrix *)
-let sweep_guarded ?policy ?retries ?tamper ?(with_atpg = true)
+let sweep_guarded ?pool ?policy ?retries ?tamper ?(with_atpg = true)
     ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
   let spec = spec_for ?scale circuit in
-  List.map
-    (fun tp_pct -> run_one_guarded ?policy ?retries ?tamper ~with_atpg spec ~tp_pct)
-    tp_levels
+  fan_levels pool tp_levels (fun tp_pct ->
+      run_one_guarded ?pool ?policy ?retries ?tamper ~with_atpg spec ~tp_pct)
 
 let completed_rows grows =
   List.filter_map
@@ -82,9 +93,11 @@ let degraded_rows grows =
 (* §5: exclude nets on near-critical paths from TPI. The baseline layout's
    STA identifies the worst paths per domain; nets within the slack margin
    of them are off limits for insertion. *)
-let blocked_critical_nets spec ~tp_pct ~slack_margin_ps =
+let blocked_critical_nets ?pool spec ~tp_pct ~slack_margin_ps =
   let d0 = Circuits.Bench.by_name spec.circuit ~scale:spec.scale in
-  let baseline = Pipeline.run ~options:(options_of spec ~with_atpg:false ~tp_pct:0) d0 in
+  let baseline =
+    Pipeline.run ~options:(options_of ?pool spec ~with_atpg:false ~tp_pct:0) d0
+  in
   let blocked_names =
     (* blocked nets must survive into the *fresh* design of the real run:
        the generator is deterministic, so net ids are reproducible *)
@@ -93,7 +106,7 @@ let blocked_critical_nets spec ~tp_pct ~slack_margin_ps =
   in
   let d = Circuits.Bench.by_name spec.circuit ~scale:spec.scale in
   let options =
-    { (options_of spec ~with_atpg:true ~tp_pct) with
+    { (options_of ?pool spec ~with_atpg:true ~tp_pct) with
       Pipeline.tpi_config =
         { Tpi.Select.default_config with Tpi.Select.blocked_nets = blocked_names } }
   in

@@ -21,15 +21,20 @@ type row = {
   result : Pipeline.result;
 }
 
-val run_one : ?with_atpg:bool -> spec -> tp_pct:int -> row
+val run_one : ?pool:Par.Pool.t -> ?with_atpg:bool -> spec -> tp_pct:int -> row
 
 val sweep :
+  ?pool:Par.Pool.t ->
   ?with_atpg:bool ->
   ?tp_levels:int list ->
   ?scale:float ->
   string ->
   row list
-(** Default levels [0;1;2;3;4;5]. *)
+(** Default levels [0;1;2;3;4;5]. With [pool], the independent levels fan
+    out across the pool's domains (and the pool is also handed to each
+    level's pipeline, where the innermost non-nested layer uses it); rows
+    come back in level order and are bit-identical to the sequential
+    sweep. *)
 
 (** {1 Guarded experiments}
 
@@ -44,6 +49,7 @@ type guarded_row = {
 }
 
 val run_one_guarded :
+  ?pool:Par.Pool.t ->
   ?policy:Guard.policy ->
   ?retries:int ->
   ?tamper:(attempt:int -> Guard.stage -> Pipeline.state -> unit) ->
@@ -53,6 +59,7 @@ val run_one_guarded :
   guarded_row
 
 val sweep_guarded :
+  ?pool:Par.Pool.t ->
   ?policy:Guard.policy ->
   ?retries:int ->
   ?tamper:(attempt:int -> Guard.stage -> Pipeline.state -> unit) ->
@@ -69,7 +76,8 @@ val completed_rows : guarded_row list -> row list
 
 val degraded_rows : guarded_row list -> guarded_row list
 
-val blocked_critical_nets : spec -> tp_pct:int -> slack_margin_ps:float -> row
+val blocked_critical_nets :
+  ?pool:Par.Pool.t -> spec -> tp_pct:int -> slack_margin_ps:float -> row
 (** The §5 ablation: run a baseline layout + STA first, collect nets on
     paths within [slack_margin_ps] of the critical path, then insert test
     points with those nets excluded. *)

@@ -8,6 +8,7 @@ type options = {
   atpg_config : Atpg.Patgen.config;
   tpi_config : Tpi.Select.config;
   seed : int;
+  pool : Par.Pool.t option;
 }
 
 let default_options =
@@ -17,7 +18,8 @@ let default_options =
     run_atpg = true;
     atpg_config = Atpg.Patgen.default_config;
     tpi_config = Tpi.Select.default_config;
-    seed = 0x71C0 }
+    seed = 0x71C0;
+    pool = None }
 
 type result = {
   design : Netlist.Design.t;
@@ -126,7 +128,7 @@ let stage_reorder_atpg st =
   let atpg =
     if options.run_atpg then begin
       let m = Netlist.Cmodel.build d in
-      Some (Atpg.Patgen.run ~config:options.atpg_config m)
+      Some (Atpg.Patgen.run ?pool:options.pool ~config:options.atpg_config m)
     end
     else None
   in
@@ -167,7 +169,7 @@ let stage_sta st =
   stage_span st "sta" @@ fun () ->
   let placement = need "placement" st.s_placement in
   let rc = need "rc" st.s_rc in
-  st.s_sta <- Some (Sta.Analysis.run placement rc)
+  st.s_sta <- Some (Sta.Analysis.run ?pool:st.s_options.pool placement rc)
 
 let finish st =
   { design = st.s_design;

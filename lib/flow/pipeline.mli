@@ -20,6 +20,10 @@ type options = {
   atpg_config : Atpg.Patgen.config;
   tpi_config : Tpi.Select.config;  (** e.g. blocked nets for the §5 ablation *)
   seed : int;
+  pool : Par.Pool.t option;
+      (** domain pool for the parallel kernels (ATPG fault simulation, STA
+          propagation). [None] (the default) runs fully sequentially; any
+          pool produces bit-identical results at any domain count *)
 }
 
 val default_options : options

@@ -10,9 +10,26 @@ type histogram = {
   mutable h_max : float;
 }
 
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
-let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
-let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+type registry = {
+  r_counters : (string, counter) Hashtbl.t;
+  r_gauges : (string, gauge) Hashtbl.t;
+  r_histograms : (string, histogram) Hashtbl.t;
+}
+
+let fresh_registry () =
+  { r_counters = Hashtbl.create 32;
+    r_gauges = Hashtbl.create 32;
+    r_histograms = Hashtbl.create 32 }
+
+(* The process-wide registry belongs to the domain that loaded this module
+   (the main domain). Worker domains write to a domain-local registry that
+   Par.Pool flushes and absorbs into the global one, in domain order, at
+   the join of every parallel region -- which is what keeps snapshots
+   identical whatever the domain count. *)
+let global = fresh_registry ()
+let main_domain = (Domain.self () :> int)
+let on_main () = (Domain.self () :> int) = main_domain
+let local_registry_key = Domain.DLS.new_key fresh_registry
 
 let intern table name make =
   match Hashtbl.find_opt table name with
@@ -22,19 +39,48 @@ let intern table name make =
     Hashtbl.replace table name v;
     v
 
-let counter name = intern counters name (fun () -> { c_name = name; c_value = 0 })
-let add c k = c.c_value <- c.c_value + k
+let mk_counter name () = { c_name = name; c_value = 0 }
+let mk_gauge name () = { g_name = name; g_value = 0.0 }
+
+let mk_histogram name () =
+  { h_name = name; h_buckets = Array.make 64 0; h_count = 0; h_sum = 0.0;
+    h_min = Float.infinity; h_max = Float.neg_infinity }
+
+let registry () = if on_main () then global else Domain.DLS.get local_registry_key
+
+let counter name = intern (registry ()).r_counters name (mk_counter name)
+let gauge name = intern (registry ()).r_gauges name (mk_gauge name)
+let histogram name = intern (registry ()).r_histograms name (mk_histogram name)
+
+(* Handles are interned per domain: a handle obtained at module-load time
+   (on the main domain) used from a worker resolves, by name, to the
+   worker's local cell, so hot loops never write across domains. On the
+   main domain the handle is used directly -- the historical fast path. *)
+let resolve_counter c =
+  if on_main () then c
+  else intern (Domain.DLS.get local_registry_key).r_counters c.c_name (mk_counter c.c_name)
+
+let resolve_gauge g =
+  if on_main () then g
+  else intern (Domain.DLS.get local_registry_key).r_gauges g.g_name (mk_gauge g.g_name)
+
+let resolve_histogram h =
+  if on_main () then h
+  else
+    intern (Domain.DLS.get local_registry_key).r_histograms h.h_name (mk_histogram h.h_name)
+
+let add c k =
+  let c = resolve_counter c in
+  c.c_value <- c.c_value + k
+
 let incr c = add c 1
-let value c = c.c_value
+let value c = (resolve_counter c).c_value
 
-let gauge name = intern gauges name (fun () -> { g_name = name; g_value = 0.0 })
-let set g v = g.g_value <- v
-let gauge_value g = g.g_value
+let set g v =
+  let g = resolve_gauge g in
+  g.g_value <- v
 
-let histogram name =
-  intern histograms name (fun () ->
-      { h_name = name; h_buckets = Array.make 64 0; h_count = 0; h_sum = 0.0;
-        h_min = Float.infinity; h_max = Float.neg_infinity })
+let gauge_value g = (resolve_gauge g).g_value
 
 let bucket_of v =
   if Float.is_nan v || v <= 1.0 then 0
@@ -46,6 +92,7 @@ let bucket_of v =
 let bucket_upper k = if k >= 63 then Float.infinity else Float.pow 2.0 (float_of_int k)
 
 let observe h v =
+  let h = resolve_histogram h in
   let b = bucket_of v in
   h.h_buckets.(b) <- h.h_buckets.(b) + 1;
   h.h_count <- h.h_count + 1;
@@ -53,13 +100,59 @@ let observe h v =
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v
 
-let hist_count h = h.h_count
-let hist_sum h = h.h_sum
-let hist_bucket h k = h.h_buckets.(k)
+let hist_count h = (resolve_histogram h).h_count
+let hist_sum h = (resolve_histogram h).h_sum
+let hist_bucket h k = (resolve_histogram h).h_buckets.(k)
+
+(* ---- per-domain snapshots (the Par.Pool join protocol) ---- *)
+
+type local = {
+  l_counters : (string * int) list;
+  l_gauges : (string * float) list;
+  l_histograms : (string * histogram) list;
+}
+
+let local_flush () =
+  let r = Domain.DLS.get local_registry_key in
+  let take table f =
+    let items = Hashtbl.fold (fun name v acc -> (name, f v) :: acc) table [] in
+    Hashtbl.reset table;
+    List.sort (fun (a, _) (b, _) -> compare (a : string) b) items
+  in
+  { l_counters = take r.r_counters (fun c -> c.c_value);
+    l_gauges = take r.r_gauges (fun g -> g.g_value);
+    l_histograms = take r.r_histograms Fun.id }
+
+let local_is_empty l = l.l_counters = [] && l.l_gauges = [] && l.l_histograms = []
+
+let absorb l =
+  List.iter
+    (fun (name, v) ->
+      let c = counter name in
+      c.c_value <- c.c_value + v)
+    l.l_counters;
+  List.iter
+    (fun (name, v) ->
+      let g = gauge name in
+      g.g_value <- v)
+    l.l_gauges;
+  List.iter
+    (fun (name, h) ->
+      let g = histogram name in
+      for k = 0 to 63 do
+        g.h_buckets.(k) <- g.h_buckets.(k) + h.h_buckets.(k)
+      done;
+      g.h_count <- g.h_count + h.h_count;
+      g.h_sum <- g.h_sum +. h.h_sum;
+      if h.h_min < g.h_min then g.h_min <- h.h_min;
+      if h.h_max > g.h_max then g.h_max <- h.h_max)
+    l.l_histograms
+
+(* ---- global registry views (main domain) ---- *)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter (fun _ g -> g.g_value <- 0.0) gauges;
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) global.r_counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.0) global.r_gauges;
   Hashtbl.iter
     (fun _ h ->
       Array.fill h.h_buckets 0 64 0;
@@ -67,7 +160,7 @@ let reset () =
       h.h_sum <- 0.0;
       h.h_min <- Float.infinity;
       h.h_max <- Float.neg_infinity)
-    histograms
+    global.r_histograms
 
 let sorted_fold table f =
   let items = Hashtbl.fold (fun name v acc -> (name, v) :: acc) table [] in
@@ -91,23 +184,23 @@ let hist_json h =
 
 let snapshot () =
   Json.Obj
-    [ ("counters", Json.Obj (sorted_fold counters (fun c -> Json.Int c.c_value)));
-      ("gauges", Json.Obj (sorted_fold gauges (fun g -> Json.Float g.g_value)));
-      ("histograms", Json.Obj (sorted_fold histograms hist_json)) ]
+    [ ("counters", Json.Obj (sorted_fold global.r_counters (fun c -> Json.Int c.c_value)));
+      ("gauges", Json.Obj (sorted_fold global.r_gauges (fun g -> Json.Float g.g_value)));
+      ("histograms", Json.Obj (sorted_fold global.r_histograms hist_json)) ]
 
 let write_json path = Json.write_file path (snapshot ())
 
 let pp ppf () =
   Format.fprintf ppf "@[<v>";
-  Hashtbl.fold (fun name c acc -> (name, c) :: acc) counters []
+  Hashtbl.fold (fun name c acc -> (name, c) :: acc) global.r_counters []
   |> List.sort compare
   |> List.iter (fun (name, c) ->
          if c.c_value <> 0 then Format.fprintf ppf "%-32s %d@ " name c.c_value);
-  Hashtbl.fold (fun name g acc -> (name, g) :: acc) gauges []
+  Hashtbl.fold (fun name g acc -> (name, g) :: acc) global.r_gauges []
   |> List.sort compare
   |> List.iter (fun (name, g) ->
          if g.g_value <> 0.0 then Format.fprintf ppf "%-32s %.2f@ " name g.g_value);
-  Hashtbl.fold (fun name h acc -> (name, h) :: acc) histograms []
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) global.r_histograms []
   |> List.sort compare
   |> List.iter (fun (name, h) ->
          if h.h_count > 0 then

@@ -8,7 +8,17 @@
     before a reset stay valid.
 
     Naming convention: [<subsystem>.<what>], lowercase, snake_case
-    after the dot ([route.segments], [guard.stage_failures]). *)
+    after the dot ([route.segments], [guard.stage_failures]).
+
+    {b Domains.} The registry above is owned by the main domain (the one
+    that loaded this module). Updates made on a worker domain transparently
+    land in a domain-local registry (handles resolve by name), so hot
+    kernels never write across domains. {!Par.Pool} flushes each worker's
+    local registry at the join of every parallel region ({!local_flush})
+    and merges them into the global registry in ascending domain order
+    ({!absorb}): counters sum, gauges take the last writer, histograms add
+    bucket-wise. The global snapshot is therefore byte-identical whatever
+    the domain count. *)
 
 type counter
 type gauge
@@ -42,7 +52,29 @@ val hist_bucket : histogram -> int -> int
 
 val reset : unit -> unit
 (** Zero every registered metric (registry membership and existing
-    handles are preserved). *)
+    handles are preserved). Main domain only. *)
+
+(** {2 Per-domain snapshots}
+
+    The join protocol used by [Par.Pool]: each worker flushes its local
+    registry on its own domain, the pool owner absorbs the snapshots in
+    ascending domain order. *)
+
+type local
+(** A flushed, immutable snapshot of one domain's local registry. *)
+
+val local_flush : unit -> local
+(** Snapshot and clear the {e calling} domain's local registry. Must run
+    on the domain whose metrics are being collected. *)
+
+val local_is_empty : local -> bool
+
+val absorb : local -> unit
+(** Merge a worker snapshot into the calling domain's registry (the
+    global one when called, as intended, on the main domain): counters
+    add, gauges overwrite (so absorbing in ascending domain order makes
+    the highest-indexed writer win), histograms merge bucket-wise with
+    count/sum added and min/max widened. *)
 
 val snapshot : unit -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...}}], names

@@ -8,17 +8,35 @@ type span = {
   dur_us : float;
   alloc_words : float;
   error : string option;
+  domain : int;
 }
 
-let on = ref false
-let enabled () = !on
-let enable () = on := true
-let disable () = on := false
+(* the enabled flag is read from every domain, so it is atomic; everything
+   else is either owned by the main domain or domain-local *)
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
 
-(* completed spans, newest first; (id, depth) stack of open spans *)
+(* main-domain state: completed spans, newest first; (id, depth) stack of
+   open spans *)
 let completed : span list ref = ref []
 let stack : (int * int) list ref = ref []
 let next_id = ref 0
+
+let main_domain = (Domain.self () :> int)
+let on_main () = (Domain.self () :> int) = main_domain
+
+(* worker-domain state, one per domain, collected by Par.Pool at join.
+   Worker span ids are local (0-based per flush window); [absorb] renumbers
+   them into the main id space. *)
+type wstate = {
+  mutable w_completed : span list;
+  mutable w_stack : (int * int) list;
+  mutable w_next : int;
+}
+
+let wkey = Domain.DLS.new_key (fun () -> { w_completed = []; w_stack = []; w_next = 0 })
 
 let reset () =
   completed := [];
@@ -37,14 +55,15 @@ type timer = {
   t_name : string;
   t_attrs : (string * Json.t) list;
   t_alloc0 : float;
+  t_local : bool;  (* recorded in the calling worker's local buffer *)
 }
 
 let enter ?(attrs = []) ~name () =
   let start = Clock.now_us () in
-  if not !on then
+  if not (Atomic.get on) then
     { t_start_us = start; t_id = -1; t_parent = -1; t_depth = 0; t_name = name;
-      t_attrs = []; t_alloc0 = 0.0 }
-  else begin
+      t_attrs = []; t_alloc0 = 0.0; t_local = false }
+  else if on_main () then begin
     let id = !next_id in
     incr next_id;
     let parent, depth =
@@ -52,27 +71,49 @@ let enter ?(attrs = []) ~name () =
     in
     stack := (id, depth) :: !stack;
     { t_start_us = start; t_id = id; t_parent = parent; t_depth = depth;
-      t_name = name; t_attrs = attrs; t_alloc0 = allocated_words () }
+      t_name = name; t_attrs = attrs; t_alloc0 = allocated_words (); t_local = false }
+  end
+  else begin
+    let w = Domain.DLS.get wkey in
+    let id = w.w_next in
+    w.w_next <- id + 1;
+    let parent, depth =
+      match w.w_stack with [] -> (-1, 0) | (pid, pdepth) :: _ -> (pid, pdepth + 1)
+    in
+    w.w_stack <- (id, depth) :: w.w_stack;
+    { t_start_us = start; t_id = id; t_parent = parent; t_depth = depth;
+      t_name = name; t_attrs = attrs; t_alloc0 = allocated_words (); t_local = true }
   end
 
 let stop ?error t =
   let ms = Clock.ms_since t.t_start_us in
   if t.t_id >= 0 then begin
-    (* tolerate an unbalanced stop (a span closed out of order) by
-       removing the span wherever it sits *)
-    (match !stack with
-     | (id, _) :: rest when id = t.t_id -> stack := rest
-     | _ -> stack := List.filter (fun (id, _) -> id <> t.t_id) !stack);
-    completed :=
+    let sp =
       { id = t.t_id; parent = t.t_parent; depth = t.t_depth; name = t.t_name;
         attrs = t.t_attrs; start_us = t.t_start_us; dur_us = 1000.0 *. ms;
-        alloc_words = Float.max 0.0 (allocated_words () -. t.t_alloc0); error }
-      :: !completed
+        alloc_words = Float.max 0.0 (allocated_words () -. t.t_alloc0); error;
+        domain = 0 }
+    in
+    if t.t_local then begin
+      let w = Domain.DLS.get wkey in
+      (match w.w_stack with
+       | (id, _) :: rest when id = t.t_id -> w.w_stack <- rest
+       | _ -> w.w_stack <- List.filter (fun (id, _) -> id <> t.t_id) w.w_stack);
+      w.w_completed <- sp :: w.w_completed
+    end
+    else begin
+      (* tolerate an unbalanced stop (a span closed out of order) by
+         removing the span wherever it sits *)
+      (match !stack with
+       | (id, _) :: rest when id = t.t_id -> stack := rest
+       | _ -> stack := List.filter (fun (id, _) -> id <> t.t_id) !stack);
+      completed := sp :: !completed
+    end
   end;
   ms
 
 let with_span ?attrs ~name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let t = enter ?attrs ~name () in
     match f () with
@@ -82,6 +123,38 @@ let with_span ?attrs ~name f =
     | exception e ->
       ignore (stop ~error:(Printexc.to_string e) t);
       raise e
+  end
+
+(* ---- per-domain collection (the Par.Pool join protocol) ---- *)
+
+type local = {
+  ls_spans : span list;  (* newest first, local ids *)
+  ls_count : int;        (* local ids allocated, >= length ls_spans *)
+}
+
+let local_flush () =
+  let w = Domain.DLS.get wkey in
+  let spans = w.w_completed and count = w.w_next in
+  w.w_completed <- [];
+  w.w_stack <- [];
+  w.w_next <- 0;
+  { ls_spans = spans; ls_count = count }
+
+let local_is_empty l = l.ls_spans = []
+
+let absorb ~domain l =
+  if l.ls_spans <> [] then begin
+    let base = !next_id in
+    next_id := base + l.ls_count;
+    completed :=
+      List.fold_left
+        (fun acc sp ->
+          { sp with
+            id = base + sp.id;
+            parent = (if sp.parent >= 0 then base + sp.parent else -1);
+            domain }
+          :: acc)
+        !completed l.ls_spans
   end
 
 (* spans are recorded at stop time; sort by id to restore start order *)
@@ -100,6 +173,7 @@ let span_fields sp =
       ("dur_us", Json.Float sp.dur_us);
       ("alloc_words", Json.Float sp.alloc_words) ]
   in
+  let base = if sp.domain <> 0 then base @ [ ("domain", Json.Int sp.domain) ] else base in
   let base =
     match sp.error with
     | Some e -> base @ [ ("error", Json.String e) ]
@@ -120,7 +194,8 @@ let chrome_event sp =
       ("ts", Json.Float sp.start_us);
       ("dur", Json.Float sp.dur_us);
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      (* one track per domain: main stays tid 1, worker slot d gets 1+d *)
+      ("tid", Json.Int (1 + sp.domain));
       ("args", Json.Obj args) ]
 
 let chrome_json () =

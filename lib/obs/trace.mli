@@ -26,6 +26,10 @@ type span = {
   dur_us : float;
   alloc_words : float;  (** words allocated while the span was open *)
   error : string option;  (** set when the body raised *)
+  domain : int;
+      (** [Par.Pool] slot the span was recorded on: 0 for the main
+          domain, the worker's slot index otherwise. Exported as its own
+          Chrome track ([tid = 1 + domain]). *)
 }
 
 val enabled : unit -> bool
@@ -52,6 +56,28 @@ val with_span : ?attrs:(string * Json.t) list -> name:string -> (unit -> 'a) -> 
 (** Run the body inside a span. An exception closes the span with
     [error] set and is re-raised. When tracing is disabled this is just
     a flag check. *)
+
+(** {2 Per-domain collection}
+
+    Spans recorded on a worker domain go to a domain-local buffer with
+    local ids; [Par.Pool] flushes each worker at the join of a parallel
+    region and stitches the buffers into the main timeline, renumbering
+    ids and tagging each span with its domain. While tracing is disabled,
+    {!with_span} on a worker is the same single flag check as on the main
+    domain — no allocation, no buffer touch. *)
+
+type local
+(** A flushed batch of one worker domain's spans. *)
+
+val local_flush : unit -> local
+(** Take and clear the calling domain's local span buffer. *)
+
+val local_is_empty : local -> bool
+
+val absorb : domain:int -> local -> unit
+(** Stitch a worker batch into the main span list (main domain only):
+    ids are renumbered into the global id space, parents rewritten, and
+    every span tagged with [domain]. *)
 
 (** {2 Inspection and export} *)
 

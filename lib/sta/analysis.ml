@@ -88,7 +88,11 @@ let timing_inputs (i : Design.instance) =
     match Cell.clock_pin i.Design.cell with Some ck -> [ ck ] | None -> []
   else List.map (fun (a : Cell.arc) -> a.Cell.from_pin) (app_arcs i.Design.cell)
 
-let run ?(config = default_config) (pl : Layout.Place.t) (rc : Layout.Extract.net_rc array) =
+(* below this many instances a level is evaluated inline: the fork-join
+   hand-shake would cost more than the arithmetic *)
+let level_par_min = 16
+
+let run ?pool ?(config = default_config) (pl : Layout.Place.t) (rc : Layout.Extract.net_rc array) =
   let d = pl.Layout.Place.design in
   let nn = Design.num_nets d in
   let arrival = Array.make nn neg_infinity in
@@ -148,10 +152,12 @@ let run ?(config = default_config) (pl : Layout.Place.t) (rc : Layout.Extract.ne
   let pin_slew nid iid pin =
     slew.(nid) +. (2.0 *. Layout.Extract.sink_elmore rc.(nid) ~inst:iid ~pin)
   in
-  Obs.Trace.with_span ~name:"sta.propagate" (fun () ->
-  while not (Queue.is_empty queue) do
-    let iid = Queue.pop queue in
-    incr processed;
+  (* evaluate one instance's arcs: reads finalised arrivals of its input
+     nets, writes only cells owned by this instance (its unique output
+     net's arrival/slew/provenance and its own slow flag), so instances of
+     the same topological level can be evaluated concurrently — and in any
+     order — without changing a single bit of the result *)
+  let eval_inst iid =
     let i = Design.inst d iid in
     let cell = i.Design.cell in
     let update_out out_net cand_arr cand_slew pin extrapolated =
@@ -164,56 +170,101 @@ let run ?(config = default_config) (pl : Layout.Place.t) (rc : Layout.Extract.ne
       end;
       if extrapolated then slow_flag.(iid) <- true
     in
-    (match is_launch i with
-     | true ->
-       (match Cell.clock_pin cell with
-        | Some ck ->
-          let cknet = i.Design.conns.(ck) in
-          if cknet >= 0 && arrival.(cknet) > neg_infinity then begin
-            let ck_arr = pin_arrival cknet iid ck and ck_slew = pin_slew cknet iid ck in
-            List.iter
-              (fun (a : Cell.arc) ->
-                if a.Cell.from_pin = ck then begin
-                  let out_net = i.Design.conns.(a.Cell.to_pin) in
-                  if out_net >= 0 then begin
-                    let load = rc.(out_net).Layout.Extract.total_cap_ff in
-                    let dl = Lut.eval a.Cell.delay ~slew:ck_slew ~load in
-                    let sl = Lut.eval a.Cell.out_slew ~slew:ck_slew ~load in
-                    update_out out_net (ck_arr +. dl.Lut.value) sl.Lut.value ck
-                      (dl.Lut.extrapolated || sl.Lut.extrapolated)
-                  end
-                end)
-              (app_arcs cell)
-          end
-        | None -> ())
-     | false ->
-       List.iter
-         (fun (a : Cell.arc) ->
-           let in_net = i.Design.conns.(a.Cell.from_pin) in
-           let out_net = i.Design.conns.(a.Cell.to_pin) in
-           if in_net >= 0 && out_net >= 0 && arrival.(in_net) > neg_infinity then begin
-             let pa = pin_arrival in_net iid a.Cell.from_pin in
-             let ps = pin_slew in_net iid a.Cell.from_pin in
-             let load = rc.(out_net).Layout.Extract.total_cap_ff in
-             let dl = Lut.eval a.Cell.delay ~slew:ps ~load in
-             let sl = Lut.eval a.Cell.out_slew ~slew:ps ~load in
-             update_out out_net (pa +. dl.Lut.value) sl.Lut.value a.Cell.from_pin
-               (dl.Lut.extrapolated || sl.Lut.extrapolated)
-           end)
-         (app_arcs cell));
-    (* release dependents *)
-    (match Design.net_of_output d i with
-     | -1 -> ()
-     | out_net ->
-       List.iter
-         (fun (sink, pin) ->
-           let s = Design.inst d sink in
-           if considered.(sink) && List.mem pin (timing_inputs s) then begin
-             pending.(sink) <- pending.(sink) - 1;
-             if pending.(sink) = 0 then Queue.add sink queue
-           end)
-         (Design.net d out_net).Design.sinks)
-  done;
+    match is_launch i with
+    | true ->
+      (match Cell.clock_pin cell with
+       | Some ck ->
+         let cknet = i.Design.conns.(ck) in
+         if cknet >= 0 && arrival.(cknet) > neg_infinity then begin
+           let ck_arr = pin_arrival cknet iid ck and ck_slew = pin_slew cknet iid ck in
+           List.iter
+             (fun (a : Cell.arc) ->
+               if a.Cell.from_pin = ck then begin
+                 let out_net = i.Design.conns.(a.Cell.to_pin) in
+                 if out_net >= 0 then begin
+                   let load = rc.(out_net).Layout.Extract.total_cap_ff in
+                   let dl = Lut.eval a.Cell.delay ~slew:ck_slew ~load in
+                   let sl = Lut.eval a.Cell.out_slew ~slew:ck_slew ~load in
+                   update_out out_net (ck_arr +. dl.Lut.value) sl.Lut.value ck
+                     (dl.Lut.extrapolated || sl.Lut.extrapolated)
+                 end
+               end)
+             (app_arcs cell)
+         end
+       | None -> ())
+    | false ->
+      List.iter
+        (fun (a : Cell.arc) ->
+          let in_net = i.Design.conns.(a.Cell.from_pin) in
+          let out_net = i.Design.conns.(a.Cell.to_pin) in
+          if in_net >= 0 && out_net >= 0 && arrival.(in_net) > neg_infinity then begin
+            let pa = pin_arrival in_net iid a.Cell.from_pin in
+            let ps = pin_slew in_net iid a.Cell.from_pin in
+            let load = rc.(out_net).Layout.Extract.total_cap_ff in
+            let dl = Lut.eval a.Cell.delay ~slew:ps ~load in
+            let sl = Lut.eval a.Cell.out_slew ~slew:ps ~load in
+            update_out out_net (pa +. dl.Lut.value) sl.Lut.value a.Cell.from_pin
+              (dl.Lut.extrapolated || sl.Lut.extrapolated)
+          end)
+        (app_arcs cell)
+  in
+  (* release an instance's dependents; [on_edge sink] fires once per
+     released timing edge (the levelizer uses it to take the max) *)
+  let release ~on_edge iid =
+    let i = Design.inst d iid in
+    match Design.net_of_output d i with
+    | -1 -> ()
+    | out_net ->
+      List.iter
+        (fun (sink, pin) ->
+          let s = Design.inst d sink in
+          if considered.(sink) && List.mem pin (timing_inputs s) then begin
+            on_edge sink;
+            pending.(sink) <- pending.(sink) - 1;
+            if pending.(sink) = 0 then Queue.add sink queue
+          end)
+        (Design.net d out_net).Design.sinks
+  in
+  Obs.Trace.with_span ~name:"sta.propagate" (fun () ->
+  (match pool with
+   | Some p when Par.Pool.size p > 1 ->
+     (* level-parallel propagation: run the Kahn mechanics first, purely
+        to levelize (level = 1 + max level over released timing edges),
+        then evaluate each level bucket across the pool. Values are
+        bit-identical to the sequential pass because evaluation order
+        within a level is immaterial (see [eval_inst]). *)
+     let ninsts = Design.num_insts d in
+     let level = Array.make ninsts 0 in
+     let order = Queue.create () in
+     let max_level = ref 0 in
+     while not (Queue.is_empty queue) do
+       let iid = Queue.pop queue in
+       incr processed;
+       Queue.add iid order;
+       if level.(iid) > !max_level then max_level := level.(iid);
+       release iid ~on_edge:(fun sink ->
+           if level.(iid) + 1 > level.(sink) then level.(sink) <- level.(iid) + 1)
+     done;
+     let buckets = Array.make (!max_level + 1) [] in
+     Queue.iter (fun iid -> buckets.(level.(iid)) <- iid :: buckets.(level.(iid))) order;
+     Array.iter
+       (fun bucket ->
+         let barr = Array.of_list bucket in
+         let nb = Array.length barr in
+         if nb < level_par_min then Array.iter eval_inst barr
+         else
+           Par.Pool.iter_slots p ~n:nb (fun ~slot:_ ~lo ~hi ->
+               for k = lo to hi - 1 do
+                 eval_inst barr.(k)
+               done))
+       buckets
+   | _ ->
+     while not (Queue.is_empty queue) do
+       let iid = Queue.pop queue in
+       incr processed;
+       eval_inst iid;
+       release iid ~on_edge:(fun _ -> ())
+     done);
   if !processed <> !total then begin
     (* name a cell stuck on the cycle: considered but never released *)
     let offender = ref (-1) in

@@ -69,8 +69,15 @@ type t = {
   worst : critical_path option;
 }
 
-val run : ?config:config -> Layout.Place.t -> Layout.Extract.net_rc array -> t
+val run :
+  ?pool:Par.Pool.t -> ?config:config -> Layout.Place.t -> Layout.Extract.net_rc array -> t
 (** Raises {!Combinational_cycle} on a combinational loop and
-    {!Backtrack_diverged} if path reconstruction fails to terminate. *)
+    {!Backtrack_diverged} if path reconstruction fails to terminate.
+
+    With [pool], arrival propagation is levelized and each level bucket is
+    evaluated across the pool's domains. Instances within a level write
+    disjoint state (each owns its unique output net), so the result — every
+    float, provenance index and slow-node flag — is bit-identical to the
+    sequential pass at any domain count. *)
 
 val pp_path : Netlist.Design.t -> Format.formatter -> critical_path -> unit

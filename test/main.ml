@@ -19,4 +19,5 @@ let () =
       ("edge-cases", Test_more.suite);
       ("flow", Test_flow.suite);
       ("guard", Test_guard.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("par", Test_par.suite) ]

@@ -323,6 +323,16 @@ let perf () =
         time_best ~reps:3 (fun () ->
             Core.Experiment.sweep ~pool:p ~with_atpg:false ~scale:0.06 "s38417"))
   in
+  (* ---- cold vs warm: the content-addressed stage cache ----
+     The same sweep, once uncached and once against a memory-only store;
+     time_best's untimed warmup rep is what fills the store, so the timed
+     reps are all served from cache. The tables must not notice. *)
+  let cache_store = Core.Stage_cache.create () in
+  let sweep_cached () =
+    Core.Experiment.sweep ~cache:cache_store ~with_atpg:false ~scale:0.06 "s38417"
+  in
+  let t_sweep_warm = time_best ~reps:3 sweep_cached in
+  assert (Core.Report.table2 (sweep_seq ()) = Core.Report.table2 (sweep_cached ()));
   let speedup seq par = if par > 0.0 then seq /. par else 0.0 in
   say "%-24s seq %8.1f ms  par(j=%d) %8.1f ms  speedup %.2fx"
     "par/fsim-detect-fanout" (t_fsim_seq *. 1e3) par_jobs (t_fsim_par *. 1e3)
@@ -331,6 +341,9 @@ let perf () =
     "par/sweep-fanout" (t_sweep_seq *. 1e3) par_jobs (t_sweep_par *. 1e3)
     (speedup t_sweep_seq t_sweep_par);
   say "(host has %d cores; speedups ~1.0x are expected on single-core hosts)" host_cores;
+  say "%-24s cold %7.1f ms  warm %8.1f ms  speedup %.2fx" "cache/sweep-stage-cache"
+    (t_sweep_seq *. 1e3) (t_sweep_warm *. 1e3)
+    (speedup t_sweep_seq t_sweep_warm);
   let par_entry name seq par =
     Obs.Json.Obj
       [ ("name", Obs.Json.String name);
@@ -341,7 +354,7 @@ let perf () =
   in
   Obs.Json.write_file "BENCH_perf.json"
     (Obs.Json.Obj
-       [ ("schema", Obs.Json.String "tpi-bench-perf/2");
+       [ ("schema", Obs.Json.String "tpi-bench-perf/3");
          ("kernels", Obs.Json.List kernels);
          ("parallel",
           Obs.Json.Obj
@@ -349,8 +362,18 @@ let perf () =
               ("kernels",
                Obs.Json.List
                  [ par_entry "fsim-detect-fanout" t_fsim_seq t_fsim_par;
-                   par_entry "sweep-fanout" t_sweep_seq t_sweep_par ]) ]) ]);
-  say "wrote BENCH_perf.json (%d kernels + 2 parallel)" (List.length kernels)
+                   par_entry "sweep-fanout" t_sweep_seq t_sweep_par ]) ]);
+         ("cache",
+          Obs.Json.Obj
+            [ ("kernels",
+               Obs.Json.List
+                 [ Obs.Json.Obj
+                     [ ("name", Obs.Json.String "sweep-stage-cache");
+                       ("cold_s", Obs.Json.Float t_sweep_seq);
+                       ("warm_s", Obs.Json.Float t_sweep_warm);
+                       ("speedup", Obs.Json.Float (speedup t_sweep_seq t_sweep_warm)) ]
+                 ]) ]) ]);
+  say "wrote BENCH_perf.json (%d kernels + 2 parallel + 1 cache)" (List.length kernels)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

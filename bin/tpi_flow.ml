@@ -79,6 +79,17 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let cache_arg =
+  let doc =
+    "Persist the content-addressed stage cache in this directory (created \
+     if missing). A repeated sweep is then served from cache -- tables and \
+     metrics stay byte-identical to a cold, cache-less run; only the \
+     cache.* counters report the hits."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
+let store_of_dir = Option.map (fun dir -> Core.Stage_cache.create ~dir ())
+
 (* a pool only when asked for: -j 1 never spawns a domain *)
 let with_jobs jobs f =
   if jobs <= 1 then f None else Core.Pool.with_pool ~domains:jobs (fun p -> f (Some p))
@@ -96,12 +107,13 @@ let validated ?scale ~circuit ~levels () =
 (* guarded sweep: under fail-fast the sweep stops at the first failed
    level; under recover/degrade every level is attempted and failures
    become degraded rows *)
-let guarded_sweep ?pool spec ~policy ~retries ~atpg levels =
+let guarded_sweep ?pool ?cache spec ~policy ~retries ~atpg levels =
   let rec loop acc = function
     | [] -> List.rev acc
     | tp_pct :: rest ->
       let g =
-        Core.Experiment.run_one_guarded ?pool ~policy ~retries ~with_atpg:atpg spec ~tp_pct
+        Core.Experiment.run_one_guarded ?pool ?cache ~policy ~retries ~with_atpg:atpg
+          spec ~tp_pct
       in
       let failed = g.Core.Experiment.g_report.Core.Guard.result = None in
       if failed && policy = Core.Guard.Fail_fast then List.rev (g :: acc)
@@ -110,7 +122,7 @@ let guarded_sweep ?pool spec ~policy ~retries ~atpg levels =
   loop [] levels
 
 let run circuit scale levels atpg tables svg_dir def_file lib_file policy retries
-    trace_file metrics_file verbose jobs =
+    trace_file metrics_file verbose jobs cache_dir =
   match validated ?scale ~circuit ~levels () with
   | Error msg ->
     Format.eprintf "tpi_flow: %s@." msg;
@@ -122,8 +134,10 @@ let run circuit scale levels atpg tables svg_dir def_file lib_file policy retrie
      Printf.printf "wrote %s\n" path
    | None -> ());
   if trace_file <> None then Core.Trace.enable ();
+  let cache = store_of_dir cache_dir in
   let grows =
-    with_jobs jobs (fun pool -> guarded_sweep ?pool spec ~policy ~retries ~atpg levels)
+    with_jobs jobs (fun pool ->
+        guarded_sweep ?pool ?cache spec ~policy ~retries ~atpg levels)
   in
   let rows = Core.Experiment.completed_rows grows in
   if rows <> [] then begin
@@ -223,7 +237,7 @@ let profile circuit scale levels atpg policy retries trace_file jobs =
 let run_term =
   Term.(const run $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ tables_arg
         $ svg_arg $ def_arg $ lib_arg $ policy_arg $ retries_arg
-        $ trace_arg $ metrics_arg $ verbose_arg $ jobs_arg)
+        $ trace_arg $ metrics_arg $ verbose_arg $ jobs_arg $ cache_arg)
 
 let selftest_cmd =
   let doc = "Run the guarded-flow fault-injection selftest (10 mutation classes)." in

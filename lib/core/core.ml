@@ -50,6 +50,7 @@ module Lfsr = Lbist.Lfsr
 module Misr = Lbist.Misr
 module Bist = Lbist.Bist
 module Pool = Par.Pool
+module Stage_cache = Cache.Store
 module Trace = Obs.Trace
 module Metrics = Obs.Metrics
 module Json = Obs.Json

@@ -29,17 +29,32 @@ type row = {
   result : Pipeline.result;
 }
 
-let options_of ?pool spec ~with_atpg ~tp_pct =
+let options_of ?pool ?cache spec ~with_atpg ~tp_pct =
   { Pipeline.default_options with
     Pipeline.tp_percent = float_of_int tp_pct;
     chain_config = spec.chain_config;
     utilization = spec.utilization;
     run_atpg = with_atpg;
-    pool }
+    pool;
+    cache }
 
-let run_one ?pool ?(with_atpg = true) spec ~tp_pct =
-  let d = Circuits.Bench.by_name spec.circuit ~scale:spec.scale in
-  let result = Pipeline.run ~options:(options_of ?pool spec ~with_atpg ~tp_pct) d in
+(* design generation is level-invariant: with a cache every level of the
+   fan-out shares one generator run (the store single-flights concurrent
+   requests), each taking a structurally fresh unmarshaled copy so the
+   levels can still mutate their designs independently *)
+let generate ?cache spec =
+  let mk () = Circuits.Bench.by_name spec.circuit ~scale:spec.scale in
+  match cache with
+  | None -> mk ()
+  | Some store ->
+    let key =
+      Cache.Store.key [ "tpi-design-gen-v1"; spec.circuit; Printf.sprintf "%h" spec.scale ]
+    in
+    Cache.Store.memo store ~key mk
+
+let run_one ?pool ?cache ?(with_atpg = true) spec ~tp_pct =
+  let d = generate ?cache spec in
+  let result = Pipeline.run ~options:(options_of ?pool ?cache spec ~with_atpg ~tp_pct) d in
   { spec; tp_pct; result }
 
 (* fan the (independent, each internally deterministic) levels across the
@@ -53,9 +68,10 @@ let fan_levels pool tp_levels f =
     Array.to_list (Par.Pool.parallel_map p ~n:(Array.length arr) (fun i -> f arr.(i)))
   | _ -> List.map f tp_levels
 
-let sweep ?pool ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
+let sweep ?pool ?cache ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale
+    circuit =
   let spec = spec_for ?scale circuit in
-  fan_levels pool tp_levels (fun tp_pct -> run_one ?pool ~with_atpg spec ~tp_pct)
+  fan_levels pool tp_levels (fun tp_pct -> run_one ?pool ?cache ~with_atpg spec ~tp_pct)
 
 type guarded_row = {
   g_spec : spec;
@@ -63,21 +79,22 @@ type guarded_row = {
   g_report : Guard.report;
 }
 
-let run_one_guarded ?pool ?policy ?retries ?tamper ?(with_atpg = true) spec ~tp_pct =
+let run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?(with_atpg = true) spec
+    ~tp_pct =
   let report =
     Guard.run ?policy ?retries ?tamper ~circuit:spec.circuit
-      ~options:(options_of ?pool spec ~with_atpg ~tp_pct)
-      (fun () -> Circuits.Bench.by_name spec.circuit ~scale:spec.scale)
+      ~options:(options_of ?pool ?cache spec ~with_atpg ~tp_pct)
+      (fun () -> generate ?cache spec)
   in
   { g_spec = spec; g_tp_pct = tp_pct; g_report = report }
 
 (* guarded sweep: a failed level becomes a degraded row instead of killing
    the whole experiment matrix *)
-let sweep_guarded ?pool ?policy ?retries ?tamper ?(with_atpg = true)
+let sweep_guarded ?pool ?cache ?policy ?retries ?tamper ?(with_atpg = true)
     ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
   let spec = spec_for ?scale circuit in
   fan_levels pool tp_levels (fun tp_pct ->
-      run_one_guarded ?pool ?policy ?retries ?tamper ~with_atpg spec ~tp_pct)
+      run_one_guarded ?pool ?cache ?policy ?retries ?tamper ~with_atpg spec ~tp_pct)
 
 let completed_rows grows =
   List.filter_map

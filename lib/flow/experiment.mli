@@ -21,10 +21,12 @@ type row = {
   result : Pipeline.result;
 }
 
-val run_one : ?pool:Par.Pool.t -> ?with_atpg:bool -> spec -> tp_pct:int -> row
+val run_one :
+  ?pool:Par.Pool.t -> ?cache:Cache.Store.t -> ?with_atpg:bool -> spec -> tp_pct:int -> row
 
 val sweep :
   ?pool:Par.Pool.t ->
+  ?cache:Cache.Store.t ->
   ?with_atpg:bool ->
   ?tp_levels:int list ->
   ?scale:float ->
@@ -34,7 +36,12 @@ val sweep :
     out across the pool's domains (and the pool is also handed to each
     level's pipeline, where the innermost non-nested layer uses it); rows
     come back in level order and are bit-identical to the sequential
-    sweep. *)
+    sweep. With [cache], level-invariant work is shared: design generation
+    runs once per sweep (single-flighted across concurrent levels) and
+    every stage consults the content-addressed stage cache
+    ({!Pipeline.cached_stage}), so a repeated sweep is served almost
+    entirely from cache — still byte-identical to a cold, cache-less
+    run. *)
 
 (** {1 Guarded experiments}
 
@@ -50,6 +57,7 @@ type guarded_row = {
 
 val run_one_guarded :
   ?pool:Par.Pool.t ->
+  ?cache:Cache.Store.t ->
   ?policy:Guard.policy ->
   ?retries:int ->
   ?tamper:(attempt:int -> Guard.stage -> Pipeline.state -> unit) ->
@@ -60,6 +68,7 @@ val run_one_guarded :
 
 val sweep_guarded :
   ?pool:Par.Pool.t ->
+  ?cache:Cache.Store.t ->
   ?policy:Guard.policy ->
   ?retries:int ->
   ?tamper:(attempt:int -> Guard.stage -> Pipeline.state -> unit) ->
@@ -69,7 +78,8 @@ val sweep_guarded :
   string ->
   guarded_row list
 (** Never raises on a stage failure; [tamper] is the chaos/fault-injection
-    hook threaded through to {!Guard.run}. *)
+    hook threaded through to {!Guard.run} (tampered runs bypass the
+    cache). *)
 
 val completed_rows : guarded_row list -> row list
 (** The levels whose flow completed, as plain rows for the table renderers. *)

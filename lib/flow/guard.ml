@@ -94,6 +94,12 @@ let reseed base k = (base lxor (k * 0x9E3779B1)) land 0x3FFFFFFF
 
 let describe_exn = function
   | Stage_failure e -> e.detail
+  | Netlist.Check.Check_failed vs ->
+    let first =
+      match vs with v :: _ -> Netlist.Check.class_name v | [] -> "none"
+    in
+    Printf.sprintf "check-failed: %d violation(s), first class: %s" (List.length vs)
+      first
   | Sta.Analysis.Combinational_cycle { inst; iname } ->
     Printf.sprintf "combinational-cycle: instance %d (%s) sits on a combinational loop"
       inst iname
@@ -184,6 +190,9 @@ let attempt ~circuit ~options ~tamper ~k mk_design =
     (List.map (fun s -> (s, Skipped)) all_stages, None, Some err)
   | Ok d ->
     let st = P.init ~options d in
+    (* fault-injection runs bypass the cache: a tampered stage must not
+       store (or be served) an entry a clean run could share *)
+    let ctx = match tamper with None -> P.cache_ctx options | Some _ -> None in
     let log = ref [] in
     let error = ref None in
     List.iter
@@ -201,7 +210,7 @@ let attempt ~circuit ~options ~tamper ~k mk_design =
           in
           Obs.Metrics.incr m_stages_run;
           (try
-             stage_body stage st;
+             P.cached_stage ctx (stage_name stage) (stage_body stage) st;
              (match tamper with Some f -> f ~attempt:k stage st | None -> ());
              post_check ~circuit stage st;
              log := (stage, Completed (Obs.Trace.stop span)) :: !log

@@ -16,7 +16,12 @@
 
     [run] never lets an exception escape: tool crashes, checker violations
     and even misbehaving [tamper] hooks all land in the report as a
-    {!stage_error}. *)
+    {!stage_error}.
+
+    When the options carry a stage cache ({!Pipeline.options.cache}), each
+    stage body runs through {!Pipeline.cached_stage}; runs with a [tamper]
+    hook bypass the cache entirely so injected faults can neither store
+    nor be served shared entries. *)
 
 type stage =
   | Tpi_scan        (** step 1: TPI + scan insertion *)

@@ -9,6 +9,7 @@ type options = {
   tpi_config : Tpi.Select.config;
   seed : int;
   pool : Par.Pool.t option;
+  cache : Cache.Store.t option;
 }
 
 let default_options =
@@ -19,7 +20,8 @@ let default_options =
     atpg_config = Atpg.Patgen.default_config;
     tpi_config = Tpi.Select.default_config;
     seed = 0x71C0;
-    pool = None }
+    pool = None;
+    cache = None }
 
 type result = {
   design : Netlist.Design.t;
@@ -47,7 +49,7 @@ type result = {
    composes them into the original straight-line flow. *)
 
 type state = {
-  s_design : Design.t;
+  mutable s_design : Design.t;
   s_options : options;
   mutable s_tp_count : int;
   mutable s_tpi_report : Tpi.Select.report option;
@@ -190,12 +192,139 @@ let finish st =
     stats = Netlist.Stats.compute st.s_design;
     drc = need "drc" st.s_drc }
 
+(* ---- stage cache (lib/cache) ----
+
+   A stage's cache key chains three things: a fingerprint of the design
+   entering the stage, a fingerprint of every option a stage can read, and
+   the previous stage's key. The chain is what carries products that live
+   outside the netlist (the placement, the route, ...) into downstream
+   keys: stage N's key depends on stage N-1's key, which transitively pins
+   every input stage N can see. A hit restores the serialized post-stage
+   state snapshot -- taken in a single Marshal, so aliasing between the
+   design and e.g. the placement's back-reference survives the round trip
+   -- and replays the stage's exact metrics delta, keeping cached and
+   uncached runs byte-identical in tables and kernel counters (DESIGN.md
+   §6.2); only the [cache.*] counters themselves may differ. *)
+
+type snapshot = {
+  c_design : Design.t;
+  c_tp_count : int;
+  c_tpi_report : Tpi.Select.report option;
+  c_placement : Layout.Place.t option;
+  c_chains : Scan.Chains.t option;
+  c_reorder : Scan.Reorder.result option;
+  c_atpg : Atpg.Patgen.outcome option;
+  c_tdv_bits : int;
+  c_tat_cycles : int;
+  c_cts : Layout.Cts.report option;
+  c_drc : Layout.Drc.report option;
+  c_filler : Layout.Filler.report option;
+  c_route : Layout.Route.t option;
+  c_rc : Layout.Extract.net_rc array option;
+  c_sta : Sta.Analysis.t option;
+}
+
+let snapshot st =
+  { c_design = st.s_design;
+    c_tp_count = st.s_tp_count;
+    c_tpi_report = st.s_tpi_report;
+    c_placement = st.s_placement;
+    c_chains = st.s_chains;
+    c_reorder = st.s_reorder;
+    c_atpg = st.s_atpg;
+    c_tdv_bits = st.s_tdv_bits;
+    c_tat_cycles = st.s_tat_cycles;
+    c_cts = st.s_cts;
+    c_drc = st.s_drc;
+    c_filler = st.s_filler;
+    c_route = st.s_route;
+    c_rc = st.s_rc;
+    c_sta = st.s_sta }
+
+let restore st c =
+  st.s_design <- c.c_design;
+  st.s_tp_count <- c.c_tp_count;
+  st.s_tpi_report <- c.c_tpi_report;
+  st.s_placement <- c.c_placement;
+  st.s_chains <- c.c_chains;
+  st.s_reorder <- c.c_reorder;
+  st.s_atpg <- c.c_atpg;
+  st.s_tdv_bits <- c.c_tdv_bits;
+  st.s_tat_cycles <- c.c_tat_cycles;
+  st.s_cts <- c.c_cts;
+  st.s_drc <- c.c_drc;
+  st.s_filler <- c.c_filler;
+  st.s_route <- c.c_route;
+  st.s_rc <- c.c_rc;
+  st.s_sta <- c.c_sta
+
+(* bump whenever the snapshot layout or any stage semantics change: old
+   on-disk entries then simply never match a key again *)
+let cache_version = "tpi-stage-cache-v1"
+
+(* every option a stage outcome can depend on; the pool (execution layout
+   only, §6.1) and the cache itself are deliberately excluded. Marshal of
+   this immutable tuple of scalars and plain variants is byte-stable. *)
+let options_fingerprint o =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( o.tp_percent, o.chain_config, o.utilization, o.run_atpg, o.atpg_config,
+            o.tpi_config, o.seed )
+          []))
+
+type cache_ctx = {
+  ck_store : Cache.Store.t;
+  ck_options_fp : string;
+  mutable ck_prev : string;  (* previous stage's key: the chain *)
+}
+
+let cache_ctx options =
+  match options.cache with
+  | None -> None
+  | Some store ->
+    Some { ck_store = store; ck_options_fp = options_fingerprint options; ck_prev = "root" }
+
+type cache_entry = {
+  e_snapshot : snapshot;
+  e_metrics : Obs.Metrics.local;  (* the stage body's exact metrics delta *)
+}
+
+let m_hits = Obs.Metrics.counter "cache.stage_hits"
+let m_misses = Obs.Metrics.counter "cache.stage_misses"
+
+let cached_stage ctx name body (st : state) =
+  match ctx with
+  | None -> body st
+  | Some ctx ->
+    let key =
+      Cache.Store.key
+        [ cache_version; name; ctx.ck_options_fp; Design.fingerprint st.s_design;
+          ctx.ck_prev ]
+    in
+    ctx.ck_prev <- key;
+    let bytes, hit =
+      Cache.Store.find_or_compute ctx.ck_store ~key (fun () ->
+          let (), delta = Obs.Metrics.with_scoped (fun () -> body st) in
+          Marshal.to_string { e_snapshot = snapshot st; e_metrics = delta } [])
+    in
+    if hit then begin
+      Obs.Metrics.incr m_hits;
+      let entry : cache_entry = Marshal.from_string bytes 0 in
+      restore st entry.e_snapshot;
+      Obs.Metrics.absorb entry.e_metrics
+    end
+    else Obs.Metrics.incr m_misses
+
+let stage_names_in_order =
+  [ "tpi-scan"; "place"; "reorder-atpg"; "eco-cts-route"; "extract"; "sta" ]
+
 let run ?(options = default_options) (d : Design.t) =
   let st = init ~options d in
-  stage_tpi_scan st;
-  stage_place st;
-  stage_reorder_atpg st;
-  stage_eco_route st;
-  stage_extract st;
-  stage_sta st;
+  let ctx = cache_ctx options in
+  List.iter2
+    (fun name stage -> cached_stage ctx name stage st)
+    stage_names_in_order
+    [ stage_tpi_scan; stage_place; stage_reorder_atpg; stage_eco_route; stage_extract;
+      stage_sta ];
   finish st

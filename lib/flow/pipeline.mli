@@ -24,6 +24,13 @@ type options = {
       (** domain pool for the parallel kernels (ATPG fault simulation, STA
           propagation). [None] (the default) runs fully sequentially; any
           pool produces bit-identical results at any domain count *)
+  cache : Cache.Store.t option;
+      (** content-addressed stage cache consulted before each stage
+          ({!cached_stage}): a hit restores the stage's serialized state
+          and replays its metrics delta instead of recomputing. Cached and
+          uncached runs are byte-identical in results and kernel metrics
+          (DESIGN.md §6.2); like the pool, the cache never affects {e
+          what} is computed, only how fast *)
 }
 
 val default_options : options
@@ -60,7 +67,8 @@ val run : ?options:options -> Netlist.Design.t -> result
     [init |> the six stages |> finish]. *)
 
 type state = {
-  s_design : Netlist.Design.t;
+  mutable s_design : Netlist.Design.t;
+      (** mutable so a cache hit can swap in the deserialized design *)
   s_options : options;
   mutable s_tp_count : int;
   mutable s_tpi_report : Tpi.Select.report option;
@@ -90,3 +98,32 @@ val stage_sta : state -> unit
 val finish : state -> result
 (** Collects a complete [result]; raises [Invalid_argument] if any stage
     has not run. *)
+
+(** {1 Stage cache}
+
+    Content-addressed memoization of whole stages (see DESIGN.md §6.2). A
+    stage's key chains [Design.fingerprint] of the state's design, a
+    fingerprint of the result-relevant options (pool and cache excluded)
+    and the previous stage's key, so products living outside the netlist
+    (placement, route, ...) are pinned transitively. Used by both {!run}
+    and {!Guard}; fault-injection runs (a [tamper] hook) bypass it. *)
+
+type snapshot
+(** The design plus every stage slot, as restored by a cache hit. *)
+
+val snapshot : state -> snapshot
+val restore : state -> snapshot -> unit
+
+type cache_ctx
+(** Per-run chaining state; create one per attempt. *)
+
+val cache_ctx : options -> cache_ctx option
+(** [None] when the options carry no cache. *)
+
+val cached_stage : cache_ctx option -> string -> (state -> unit) -> state -> unit
+(** [cached_stage ctx name body st] runs [body st], consulting the cache
+    first when [ctx] is present: on a hit the stored snapshot is restored
+    into [st] and the stage's recorded metrics delta replayed; on a miss
+    [body] runs under {!Obs.Metrics.with_scoped} and the resulting
+    snapshot + delta are stored. [name] must be the stage's flow name
+    (["tpi-scan"], ["place"], ...). *)

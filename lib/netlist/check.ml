@@ -103,6 +103,43 @@ let run (d : Design.t) =
   List.iter (fun (p : Design.port) -> if p.pnet < 0 then add (Unbound_port p.pid)) ports;
   List.rev !out
 
+exception Check_failed of violation list
+
+(* class tallies make the exception readable without the design at hand;
+   the full rendering lives in [report] *)
+let summarize vs =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let c = class_name v in
+      Hashtbl.replace tally c (1 + Option.value ~default:0 (Hashtbl.find_opt tally c)))
+    vs;
+  let classes =
+    Hashtbl.fold (fun c n acc -> (c, n) :: acc) tally [] |> List.sort compare
+  in
+  Printf.sprintf "%d violation(s): %s" (List.length vs)
+    (String.concat ", " (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) classes))
+
+let () =
+  Printexc.register_printer (function
+    | Check_failed vs -> Some ("Netlist.Check.Check_failed: " ^ summarize vs)
+    | _ -> None)
+
+let report_cap = 20
+
+let report (d : Design.t) vs =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let total = List.length vs in
+  Format.fprintf ppf "design %s: %d check violations:@." d.design_name total;
+  List.iteri
+    (fun k v -> if k < report_cap then Format.fprintf ppf "  %a@." (pp_violation d) v)
+    vs;
+  if total > report_cap then
+    Format.fprintf ppf "  ... and %d more@." (total - report_cap);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
 let assert_clean ?(allow_dangling = false) d =
   let vs = run d in
   let vs =
@@ -112,12 +149,4 @@ let assert_clean ?(allow_dangling = false) d =
   in
   match vs with
   | [] -> ()
-  | vs ->
-    let buf = Buffer.create 256 in
-    let ppf = Format.formatter_of_buffer buf in
-    Format.fprintf ppf "design %s: %d check violations:@." d.design_name (List.length vs);
-    List.iteri
-      (fun k v -> if k < 20 then Format.fprintf ppf "  %a@." (pp_violation d) v)
-      vs;
-    Format.pp_print_flush ppf ();
-    failwith (Buffer.contents buf)
+  | vs -> raise (Check_failed vs)

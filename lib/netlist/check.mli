@@ -21,5 +21,15 @@ val run : Design.t -> violation list
 (** Empty list = clean design. Dangling outputs are reported but tolerated
     by the flow (tie cells and spare logic can legitimately dangle). *)
 
+exception Check_failed of violation list
+(** The complete violation list — never truncated — so callers (and
+    {!Flow.Guard}, which maps it to a ["check-failed"] stage-error class)
+    can report true counts. A registered printer renders per-class
+    tallies. *)
+
+val report : Design.t -> violation list -> string
+(** Human-readable rendering: the total count, the first 20 violations,
+    and an ["... and N more"] line when the list is longer. *)
+
 val assert_clean : ?allow_dangling:bool -> Design.t -> unit
-(** Raises [Failure] with a rendered report if violations remain. *)
+(** Raises {!Check_failed} with every remaining violation. *)

@@ -173,6 +173,69 @@ let replace_cell t ~inst:iid ~cell ~pin_map =
   in
   List.iter rewire pin_map
 
+(* Structural fingerprint for the stage cache (lib/cache): an FNV-1a-style
+   rolling hash over every field that downstream passes can read. Cells are
+   identified by their (unique) library names, so the hash never depends on
+   physical identity -- two independently generated but structurally equal
+   designs fingerprint equally, which is exactly what lets a warm cache
+   serve a fresh sweep. *)
+let fingerprint t =
+  let h = ref 0x1A2B3C4D5E6F17 in
+  let mix k = h := (!h lxor (k land max_int)) * 0x100000001B3 in
+  let mix_str s =
+    String.iter (fun c -> mix (Char.code c)) s;
+    mix (-1) (* terminator: ("ab","c") and ("a","bc") must differ *)
+  in
+  let mix_float f = mix (Int64.to_int (Int64.bits_of_float f)) in
+  mix_str t.design_name;
+  mix (Vec.length t.insts);
+  Vec.iter
+    (fun i ->
+      mix i.id;
+      mix_str i.iname;
+      mix_str i.cell.Stdcell.Cell.name;
+      Array.iter mix i.conns;
+      mix i.domain)
+    t.insts;
+  mix (Vec.length t.nets);
+  Vec.iter
+    (fun n ->
+      mix n.nid;
+      mix_str n.nname;
+      (match n.driver with
+       | No_driver -> mix 0
+       | Port_in p ->
+         mix 1;
+         mix p
+       | Cell_pin (i, p) ->
+         mix 2;
+         mix i;
+         mix p);
+      List.iter
+        (fun (i, p) ->
+          mix i;
+          mix p)
+        n.sinks;
+      mix (-2);
+      mix n.out_port)
+    t.nets;
+  mix (Vec.length t.ports);
+  Vec.iter
+    (fun p ->
+      mix p.pid;
+      mix_str p.pname;
+      mix (match p.dir with In -> 0 | Out -> 1);
+      mix p.pnet)
+    t.ports;
+  mix (Array.length t.domains);
+  Array.iter
+    (fun d ->
+      mix_str d.dom_name;
+      mix_float d.period_ps;
+      mix d.clock_net)
+    t.domains;
+  Printf.sprintf "%016x" (!h land max_int)
+
 let split_net t ~net:nid ~name =
   let old = net t nid in
   let fresh = add_net t name in

@@ -104,6 +104,13 @@ val replace_cell : t -> inst:int -> cell:Stdcell.Cell.t -> pin_map:(int * int) l
     rewiring old pin [o] to new pin [n] for each [(o, n)] in [pin_map];
     unmapped old pins are disconnected, unmapped new pins left open. *)
 
+val fingerprint : t -> string
+(** Structural hash of the complete design (instances, cells by name,
+    connectivity, ports, domains) as a fixed-width hex string. Physical
+    identity never enters the hash: structurally equal designs — e.g. two
+    runs of the same deterministic generator — fingerprint equally. Used
+    by the stage cache to key cached stage results (DESIGN.md §6.2). *)
+
 val split_net : t -> net:int -> name:string -> net
 (** [split_net t ~net ~name] creates a fresh net that takes over every sink
     (and output-port binding) of [net], leaving [net] with its driver only.

@@ -46,7 +46,16 @@ let mk_histogram name () =
   { h_name = name; h_buckets = Array.make 64 0; h_count = 0; h_sum = 0.0;
     h_min = Float.infinity; h_max = Float.neg_infinity }
 
-let registry () = if on_main () then global else Domain.DLS.get local_registry_key
+(* Scoped capture (see [with_scoped]): while a scope is open on a domain,
+   that domain's updates land in the scope's private registry instead, so
+   the exact metrics delta of a code region can be taken. A stack supports
+   nesting; the common case is an empty stack and one DLS read. *)
+let scoped_key = Domain.DLS.new_key (fun () -> ([] : registry list))
+
+let registry () =
+  match Domain.DLS.get scoped_key with
+  | r :: _ -> r
+  | [] -> if on_main () then global else Domain.DLS.get local_registry_key
 
 let counter name = intern (registry ()).r_counters name (mk_counter name)
 let gauge name = intern (registry ()).r_gauges name (mk_gauge name)
@@ -57,17 +66,26 @@ let histogram name = intern (registry ()).r_histograms name (mk_histogram name)
    worker's local cell, so hot loops never write across domains. On the
    main domain the handle is used directly -- the historical fast path. *)
 let resolve_counter c =
-  if on_main () then c
-  else intern (Domain.DLS.get local_registry_key).r_counters c.c_name (mk_counter c.c_name)
+  match Domain.DLS.get scoped_key with
+  | r :: _ -> intern r.r_counters c.c_name (mk_counter c.c_name)
+  | [] ->
+    if on_main () then c
+    else intern (Domain.DLS.get local_registry_key).r_counters c.c_name (mk_counter c.c_name)
 
 let resolve_gauge g =
-  if on_main () then g
-  else intern (Domain.DLS.get local_registry_key).r_gauges g.g_name (mk_gauge g.g_name)
+  match Domain.DLS.get scoped_key with
+  | r :: _ -> intern r.r_gauges g.g_name (mk_gauge g.g_name)
+  | [] ->
+    if on_main () then g
+    else intern (Domain.DLS.get local_registry_key).r_gauges g.g_name (mk_gauge g.g_name)
 
 let resolve_histogram h =
-  if on_main () then h
-  else
-    intern (Domain.DLS.get local_registry_key).r_histograms h.h_name (mk_histogram h.h_name)
+  match Domain.DLS.get scoped_key with
+  | r :: _ -> intern r.r_histograms h.h_name (mk_histogram h.h_name)
+  | [] ->
+    if on_main () then h
+    else
+      intern (Domain.DLS.get local_registry_key).r_histograms h.h_name (mk_histogram h.h_name)
 
 let add c k =
   let c = resolve_counter c in
@@ -112,8 +130,7 @@ type local = {
   l_histograms : (string * histogram) list;
 }
 
-let local_flush () =
-  let r = Domain.DLS.get local_registry_key in
+let flush_registry r =
   let take table f =
     let items = Hashtbl.fold (fun name v acc -> (name, f v) :: acc) table [] in
     Hashtbl.reset table;
@@ -122,6 +139,8 @@ let local_flush () =
   { l_counters = take r.r_counters (fun c -> c.c_value);
     l_gauges = take r.r_gauges (fun g -> g.g_value);
     l_histograms = take r.r_histograms Fun.id }
+
+let local_flush () = flush_registry (Domain.DLS.get local_registry_key)
 
 let local_is_empty l = l.l_counters = [] && l.l_gauges = [] && l.l_histograms = []
 
@@ -147,6 +166,28 @@ let absorb l =
       if h.h_min < g.h_min then g.h_min <- h.h_min;
       if h.h_max > g.h_max then g.h_max <- h.h_max)
     l.l_histograms
+
+(* Exact-delta capture for the stage cache (Flow.Pipeline): the region's
+   updates go to a private registry, which is then merged back through
+   [absorb] -- the same merge a cache hit replays later, so a replayed
+   delta reproduces the very sequence of additions the region would have
+   performed. On an exception the partial delta is still merged (a failed
+   stage's kernel counts must match an uncached failing run) but not
+   returned. *)
+let with_scoped f =
+  let r = fresh_registry () in
+  let stack = Domain.DLS.get scoped_key in
+  Domain.DLS.set scoped_key (r :: stack);
+  match f () with
+  | v ->
+    Domain.DLS.set scoped_key stack;
+    let delta = flush_registry r in
+    absorb delta;
+    (v, delta)
+  | exception e ->
+    Domain.DLS.set scoped_key stack;
+    absorb (flush_registry r);
+    raise e
 
 (* ---- global registry views (main domain) ---- *)
 

@@ -76,6 +76,18 @@ val absorb : local -> unit
     the highest-indexed writer win), histograms merge bucket-wise with
     count/sum added and min/max widened. *)
 
+val with_scoped : (unit -> 'a) -> 'a * local
+(** [with_scoped f] runs [f] with the calling domain's metric updates
+    redirected into a fresh private registry, then merges that registry
+    back (via {!absorb}) and returns [f]'s result together with the
+    region's exact metrics delta. The net effect on the ambient registry
+    is identical to running [f] unscoped; the delta is what a stage
+    cache serializes and replays ({!absorb}) on a hit so cached runs
+    expose the same kernel counters as uncached ones. Scopes nest; a
+    parallel region joined inside the scope lands its workers' metrics
+    in the scope. If [f] raises, the partial delta is merged and the
+    exception re-raised. *)
+
 val snapshot : unit -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...}}], names
     sorted, zero-valued metrics included, empty histogram buckets

@@ -49,14 +49,20 @@ let slew_lut ~d0 ~r ~drive =
 
 let cell_name kind drive = Printf.sprintf "%sX%d" (Cell.kind_name kind) drive
 
-let input_names kind =
-  match Cell.num_inputs kind with
-  | 0 -> []
-  | 1 -> [ "A" ]
-  | 2 -> [ "A"; "B" ]
-  | 3 when kind = Cell.Mux2 -> [ "A"; "B"; "S" ]
-  | 3 -> [ "A"; "B"; "C" ]
-  | _ -> assert false
+(* spreadsheet-style pin names: A..Z, then AA, AB, ... -- the flow's fault
+   simulator deliberately supports arbitrary gate arity, so pin naming must
+   too (wide gates show up in handcrafted test models and future mapped
+   netlists) *)
+let rec input_name i =
+  let last = String.make 1 (Char.chr (Char.code 'A' + (i mod 26))) in
+  if i < 26 then last else input_name ((i / 26) - 1) ^ last
+
+let input_names ?arity kind =
+  let n = match arity with Some n -> n | None -> Cell.num_inputs kind in
+  if n < 0 then invalid_arg "Library.input_names: negative arity";
+  match (kind, n) with
+  | Cell.Mux2, 3 -> [ "A"; "B"; "S" ]
+  | _ -> List.init n input_name
 
 let make_comb kind drive =
   let d0, r, cap, width = List.assoc kind comb_params in

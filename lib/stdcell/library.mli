@@ -35,6 +35,12 @@ val upsize : t -> Cell.t -> Cell.t option
 val fillers : t -> Cell.t list
 (** Filler cells in decreasing width order, for gap filling (step 4). *)
 
+val input_names : ?arity:int -> Cell.kind -> string list
+(** Input pin names for a cell of the given kind: ["A"], ["B"], ... then
+    ["AA"], ["AB"], ... for arbitrary arity ([Mux2] keeps its select pin
+    ["S"]). [arity] overrides the kind's natural input count, for wide-gate
+    variants of the n-ary kinds. *)
+
 val min_drive_strength : t -> Cell.kind -> Cell.t
 (** The X1 variant, used when mapping generated netlists (§4.1: s38417 is
     mapped with minimum drive strength everywhere). *)

@@ -20,4 +20,5 @@ let () =
       ("flow", Test_flow.suite);
       ("guard", Test_guard.suite);
       ("obs", Test_obs.suite);
-      ("par", Test_par.suite) ]
+      ("par", Test_par.suite);
+      ("cache", Test_cache.suite) ]

@@ -189,6 +189,23 @@ let test_stage_out_of_order () =
   Alcotest.(check bool) "sta before place rejected" true
     (try P.stage_sta st; false with Invalid_argument _ -> true)
 
+let test_check_failed_classified () =
+  (* a stage tripping the netlist DRCs surfaces as a typed "check-failed"
+     stage error, not an anonymous Failure *)
+  let vs = [ Netlist.Check.Undriven_net 3; Netlist.Check.Floating_input (1, 0) ] in
+  let tamper ~attempt:_ stage _ =
+    if stage = G.Extract then raise (Netlist.Check.Check_failed vs)
+  in
+  let r = G.run ~options:tiny_options ~tamper ~circuit:"tiny" mk_tiny in
+  Alcotest.(check bool) "failed" false (G.succeeded r);
+  match r.G.error with
+  | None -> Alcotest.fail "expected a stage error"
+  | Some e ->
+    Alcotest.(check bool) "classified as check-failed" true
+      (Astring_contains.contains e.G.detail "check-failed: 2 violation(s)");
+    Alcotest.(check bool) "first class named" true
+      (Astring_contains.contains e.G.detail "undriven-net")
+
 let suite =
   [ Alcotest.test_case "guarded flow completes" `Quick test_guarded_flow_completes;
     Alcotest.test_case "injection matrix" `Slow test_injection_matrix;
@@ -203,4 +220,5 @@ let suite =
       test_layout_check_clean_flow;
     Alcotest.test_case "staged = straight-line" `Quick test_staged_equals_straightline;
     Alcotest.test_case "policy strings" `Quick test_policy_strings;
-    Alcotest.test_case "stages enforce order" `Quick test_stage_out_of_order ]
+    Alcotest.test_case "stages enforce order" `Quick test_stage_out_of_order;
+    Alcotest.test_case "check-failed classified" `Quick test_check_failed_classified ]

@@ -146,6 +146,47 @@ let test_cmodel_structure () =
     (fun (n, _) -> Alcotest.(check bool) "observe marked" true m.Netlist.Cmodel.is_observed.(n))
     m.Netlist.Cmodel.observes
 
+let test_check_failed_typed () =
+  let d = Helpers.mini_design () in
+  (* 25 disconnected inverters: each adds a floating input and a dangling
+     output, taking the violation list well past the 20-entry report cap *)
+  for k = 0 to 24 do
+    ignore
+      (Design.add_instance d ~name:(Printf.sprintf "u%d" k) ~cell:(Helpers.cell Cell.Inv))
+  done;
+  match Netlist.Check.assert_clean d with
+  | () -> Alcotest.fail "expected Check_failed"
+  | exception Netlist.Check.Check_failed vs ->
+    Alcotest.(check int) "exception carries every violation" 50 (List.length vs);
+    let printed = Printexc.to_string (Netlist.Check.Check_failed vs) in
+    Alcotest.(check bool) "printer tallies the classes" true
+      (Astring_contains.contains printed "50 violation(s)");
+    Alcotest.(check bool) "printer names the classes" true
+      (Astring_contains.contains printed "floating-input x25");
+    let r = Netlist.Check.report d vs in
+    Alcotest.(check bool) "report states the total" true
+      (Astring_contains.contains r "50 check violations");
+    Alcotest.(check bool) "report flags the truncation" true
+      (Astring_contains.contains r "... and 30 more");
+    let rendered =
+      List.length
+        (List.filter
+           (fun l -> Astring_contains.contains l "of u")
+           (String.split_on_char '\n' r))
+    in
+    Alcotest.(check int) "only the cap is rendered" 20 rendered
+
+let test_report_short_list_untruncated () =
+  let d = Helpers.mini_design () in
+  let g2 = Design.inst d 1 in
+  (* unhooking g2's input floats that pin and leaves g1's output sinkless *)
+  Design.disconnect d ~inst:g2.Design.id ~pin:0;
+  let vs = Netlist.Check.run d in
+  Alcotest.(check int) "two violations" 2 (List.length vs);
+  let r = Netlist.Check.report d vs in
+  Alcotest.(check bool) "no truncation line" true
+    (not (Astring_contains.contains r "more"))
+
 let suite =
   [ Alcotest.test_case "mini construction" `Quick test_mini_construction;
     Alcotest.test_case "double driver" `Quick test_double_driver_rejected;
@@ -158,4 +199,6 @@ let suite =
     Alcotest.test_case "verilog mini roundtrip" `Quick test_verilog_roundtrip_mini;
     Alcotest.test_case "verilog tiny roundtrip" `Quick test_verilog_roundtrip_tiny;
     Alcotest.test_case "verilog parse error" `Quick test_verilog_parse_error;
-    Alcotest.test_case "cmodel structure" `Quick test_cmodel_structure ]
+    Alcotest.test_case "cmodel structure" `Quick test_cmodel_structure;
+    Alcotest.test_case "check-failed typed" `Quick test_check_failed_typed;
+    Alcotest.test_case "report untruncated" `Quick test_report_short_list_untruncated ]

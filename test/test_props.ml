@@ -45,13 +45,18 @@ let prop_scan_chain_walk =
       Hashtbl.length visited = !scan_cells)
 
 let prop_tpi_preserves_checks =
-  QCheck.Test.make ~name:"TPI at any density leaves a clean netlist" ~count:8
+  (* a low gate/FF ratio can leave a generated FF output legitimately
+     dangling (tolerated by the flow), so the property is that TPI adds no
+     violations of its own, not that the input was spotless *)
+  QCheck.Test.make ~name:"TPI at any density introduces no netlist violations" ~count:8
     QCheck.(pair gen_circuit (int_range 1 8))
     (fun (spec, count) ->
       let d = circuit_of spec in
+      let before = Netlist.Check.run d in
       let rep = Tpi.Select.run d ~count in
-      Netlist.Check.assert_clean d;
-      List.length rep.Tpi.Select.inserted <= count
+      let after = Netlist.Check.run d in
+      List.for_all (fun v -> List.mem v before) after
+      && List.length rep.Tpi.Select.inserted <= count
       && (Netlist.Stats.compute d).Netlist.Stats.test_points
          = List.length rep.Tpi.Select.inserted)
 

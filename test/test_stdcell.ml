@@ -121,6 +121,58 @@ let test_fillers () =
   let widths = List.map (fun (c : Cell.t) -> c.Cell.width) fs in
   Alcotest.(check bool) "descending" true (widths = List.sort (fun a b -> compare b a) widths)
 
+let test_wide_input_names () =
+  Alcotest.(check (list string)) "arity 6"
+    [ "A"; "B"; "C"; "D"; "E"; "F" ]
+    (Lib.input_names ~arity:6 Cell.Nand2);
+  Alcotest.(check (list string)) "mux keeps its select pin" [ "A"; "B"; "S" ]
+    (Lib.input_names Cell.Mux2);
+  let names = Lib.input_names ~arity:60 Cell.And2 in
+  Alcotest.(check int) "arity 60" 60 (List.length names);
+  Alcotest.(check string) "spreadsheet spill at 26" "AA" (List.nth names 26);
+  Alcotest.(check string) "index 59" "BH" (List.nth names 59);
+  Alcotest.(check int) "all names distinct" 60
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check bool) "negative arity rejected" true
+    (try
+       ignore (Lib.input_names ~arity:(-1) Cell.Nand2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_wide_gate_construction () =
+  (* build a 6-input NAND the way the library builds its cells and wire it
+     into a checked design: wide gates must survive the netlist DRCs *)
+  let names = Lib.input_names ~arity:6 Cell.Nand2 in
+  let pins =
+    Array.of_list
+      (List.map (fun n -> Stdcell.Pin.input n ~cap:2.0) names
+      @ [ Stdcell.Pin.output "Y" ])
+  in
+  let wide =
+    { Cell.name = "NAND6X1"; kind = Cell.Nand2; drive = 1; width = 3.2; pins;
+      arcs = [||]; setup = 0.0; hold = 0.0; sequential = false }
+  in
+  Alcotest.(check int) "output pin after 6 inputs" 6 (Cell.output_pin wide);
+  let module D = Netlist.Design in
+  let d = D.create "wide" in
+  let g = D.add_instance d ~name:"g0" ~cell:wide in
+  List.iteri
+    (fun k _ ->
+      let pi = D.add_port d (Printf.sprintf "pi%d" k) D.In in
+      D.connect d ~inst:g.D.id ~pin:k ~net:pi.D.pnet)
+    names;
+  let y = D.add_net d "y" in
+  D.connect d ~inst:g.D.id ~pin:6 ~net:y.D.nid;
+  let po = D.add_port d "po" D.Out in
+  D.connect_out_port d ~port:po.D.pid ~net:y.D.nid;
+  Netlist.Check.assert_clean d;
+  Alcotest.(check int) "six sinks recorded" 6
+    (List.fold_left
+       (fun acc (p : D.port) ->
+         acc + List.length (D.net d p.D.pnet).D.sinks)
+       0
+       (D.input_ports d))
+
 let suite =
   [ Alcotest.test_case "lut grid exact" `Quick test_lut_grid_exact;
     Alcotest.test_case "lut extrapolation" `Quick test_lut_extrapolation_flag;
@@ -131,5 +183,7 @@ let suite =
     Alcotest.test_case "tsff arcs" `Quick test_tsff_cell_arcs;
     Alcotest.test_case "drive scaling" `Quick test_drive_scaling_monotone;
     Alcotest.test_case "fillers" `Quick test_fillers;
+    Alcotest.test_case "wide input names" `Quick test_wide_input_names;
+    Alcotest.test_case "wide gate construction" `Quick test_wide_gate_construction;
     QCheck_alcotest.to_alcotest prop_eval3_matches_eval_ternary;
     QCheck_alcotest.to_alcotest prop_eval3_refines_eval64 ]

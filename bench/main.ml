@@ -173,6 +173,26 @@ let ablations () =
     r.Core.Pipeline.reorder.Core.Scan_reorder.wirelength_after;
   say ""
 
+(* BENCH_perf.json is written by more than one bench mode (`--perf`, `serve`);
+   each mode merges its own sections into the existing file instead of
+   clobbering the others' *)
+let read_bench_fields () =
+  if Sys.file_exists "BENCH_perf.json" then
+    match
+      Obs.Json.parse (In_channel.with_open_bin "BENCH_perf.json" In_channel.input_all)
+    with
+    | Ok (Obs.Json.Obj fields) -> fields
+    | _ -> []
+  else []
+
+let write_bench_sections updates =
+  let fields =
+    List.fold_left
+      (fun acc (k, v) -> List.remove_assoc k acc @ [ (k, v) ])
+      (read_bench_fields ()) updates
+  in
+  Obs.Json.write_file "BENCH_perf.json" (Obs.Json.Obj fields)
+
 (* ---- Bechamel kernels: one per table/figure ---- *)
 let perf () =
   let open Bechamel in
@@ -352,28 +372,146 @@ let perf () =
         ("jobs", Obs.Json.Int par_jobs);
         ("speedup", Obs.Json.Float (speedup seq par)) ]
   in
-  Obs.Json.write_file "BENCH_perf.json"
-    (Obs.Json.Obj
-       [ ("schema", Obs.Json.String "tpi-bench-perf/3");
-         ("kernels", Obs.Json.List kernels);
-         ("parallel",
-          Obs.Json.Obj
-            [ ("host_cores", Obs.Json.Int host_cores);
-              ("kernels",
-               Obs.Json.List
-                 [ par_entry "fsim-detect-fanout" t_fsim_seq t_fsim_par;
-                   par_entry "sweep-fanout" t_sweep_seq t_sweep_par ]) ]);
-         ("cache",
-          Obs.Json.Obj
-            [ ("kernels",
-               Obs.Json.List
-                 [ Obs.Json.Obj
-                     [ ("name", Obs.Json.String "sweep-stage-cache");
-                       ("cold_s", Obs.Json.Float t_sweep_seq);
-                       ("warm_s", Obs.Json.Float t_sweep_warm);
-                       ("speedup", Obs.Json.Float (speedup t_sweep_seq t_sweep_warm)) ]
-                 ]) ]) ]);
+  write_bench_sections
+    [ ("schema", Obs.Json.String "tpi-bench-perf/4");
+      ("kernels", Obs.Json.List kernels);
+      ("parallel",
+       Obs.Json.Obj
+         [ ("host_cores", Obs.Json.Int host_cores);
+           ("kernels",
+            Obs.Json.List
+              [ par_entry "fsim-detect-fanout" t_fsim_seq t_fsim_par;
+                par_entry "sweep-fanout" t_sweep_seq t_sweep_par ]) ]);
+      ("cache",
+       Obs.Json.Obj
+         [ ("kernels",
+            Obs.Json.List
+              [ Obs.Json.Obj
+                  [ ("name", Obs.Json.String "sweep-stage-cache");
+                    ("cold_s", Obs.Json.Float t_sweep_seq);
+                    ("warm_s", Obs.Json.Float t_sweep_warm);
+                    ("speedup", Obs.Json.Float (speedup t_sweep_seq t_sweep_warm)) ]
+              ]) ]) ];
   say "wrote BENCH_perf.json (%d kernels + 2 parallel + 1 cache)" (List.length kernels)
+
+(* ---- serve: end-to-end daemon throughput under concurrent clients ----
+   An in-process daemon on a scratch socket, N client threads each pushing
+   a stream of small jobs (one of them with an injected transient fault,
+   so the retry path is always part of the measurement), then a deliberate
+   overload burst against the held executor to measure typed-backpressure
+   rejection. Wall-clock numbers, not Bechamel: the daemon serializes job
+   compute by design, so per-run modelling adds nothing. *)
+let serve_bench clients =
+  say "=== serve: daemon throughput, %d concurrent clients ===" clients;
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tpi-bench-%d.sock" (Unix.getpid ()))
+  in
+  let capacity = (2 * clients) + 2 in
+  let cfg =
+    { (Core.Serve_daemon.default_config ~socket_path) with
+      Core.Serve_daemon.queue_capacity = capacity }
+  in
+  let daemon = Core.Serve_daemon.start cfg in
+  let spec_line ~id ?fail_attempts ?sleep_ms () =
+    Core.Serve_client.submit_line ~id ?fail_attempts ?sleep_ms ~circuit:"s38417"
+      ~scale:0.05 ~levels:[ 0 ] ~tables:[ 2 ] ()
+  in
+  let jobs_per_client = 3 in
+  let mutex = Mutex.create () in
+  let latencies = ref [] in
+  let retries = ref 0 and completed = ref 0 and failed = ref 0 in
+  let submit_one c id ?fail_attempts () =
+    let t0 = Unix.gettimeofday () in
+    let o = Core.Serve_client.run_job c (spec_line ~id ?fail_attempts ()) in
+    let dt_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+    Mutex.lock mutex;
+    latencies := dt_ms :: !latencies;
+    retries := !retries + o.Core.Serve_client.retries;
+    if o.Core.Serve_client.output <> None then incr completed else incr failed;
+    Mutex.unlock mutex
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun k ->
+        Thread.create
+          (fun () ->
+            let c = Core.Serve_client.connect ~socket_path in
+            Fun.protect
+              ~finally:(fun () -> Core.Serve_client.close c)
+              (fun () ->
+                for j = 1 to jobs_per_client do
+                  submit_one c (Printf.sprintf "c%d-j%d" k j) ()
+                done;
+                submit_one c (Printf.sprintf "c%d-retry" k) ~fail_attempts:1 ()))
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (* overload burst: park a sleeper on the executor, then submit past the
+     queue bound and count the typed backpressure rejections *)
+  let burst = 2 * capacity in
+  let rejected = ref 0 in
+  let c = Core.Serve_client.connect ~socket_path in
+  Fun.protect
+    ~finally:(fun () -> Core.Serve_client.close c)
+    (fun () ->
+      Core.Serve_client.request c (spec_line ~id:"hold" ~sleep_ms:400 ());
+      let rec await pred =
+        match Core.Serve_client.next_event c with
+        | None -> ()
+        | Some j -> if pred j then () else await pred
+      in
+      await (fun j ->
+          Core.Serve_protocol.event_of j = "started"
+          && Core.Serve_protocol.id_of j = Some "hold");
+      for b = 1 to burst do
+        let id = Printf.sprintf "burst-%d" b in
+        Core.Serve_client.request c (spec_line ~id ());
+        await (fun j ->
+            let terminal =
+              match Core.Serve_protocol.event_of j with
+              | "accepted" -> true
+              | "rejected" ->
+                incr rejected;
+                true
+              | _ -> false
+            in
+            terminal && Core.Serve_protocol.id_of j = Some id)
+      done);
+  Core.Serve_daemon.drain daemon;
+  ignore (Core.Serve_daemon.wait daemon);
+  let sorted = List.sort compare !latencies in
+  let n = List.length sorted in
+  let pct p =
+    if n = 0 then 0.0 else List.nth sorted (min (n - 1) (int_of_float (float_of_int n *. p)))
+  in
+  let throughput = if wall_s > 0.0 then float_of_int !completed /. wall_s else 0.0 in
+  let rejection_rate = float_of_int !rejected /. float_of_int burst in
+  say "%d jobs (%d clients x %d+1), %d completed, %d failed, %d retries" n clients
+    jobs_per_client !completed !failed !retries;
+  say "throughput %.2f jobs/s, latency p50 %.1f ms / p95 %.1f ms" throughput (pct 0.50)
+    (pct 0.95);
+  say "overload burst: %d/%d rejected with typed backpressure (%.0f%%)" !rejected burst
+    (100.0 *. rejection_rate);
+  write_bench_sections
+    [ ("schema", Obs.Json.String "tpi-bench-perf/4");
+      ("serve",
+       Obs.Json.Obj
+         [ ("clients", Obs.Json.Int clients);
+           ("jobs", Obs.Json.Int n);
+           ("jobs_completed", Obs.Json.Int !completed);
+           ("jobs_failed", Obs.Json.Int !failed);
+           ("retries", Obs.Json.Int !retries);
+           ("throughput_jobs_per_s", Obs.Json.Float throughput);
+           ("p50_ms", Obs.Json.Float (pct 0.50));
+           ("p95_ms", Obs.Json.Float (pct 0.95));
+           ("rejection_burst",
+            Obs.Json.Obj
+              [ ("submitted", Obs.Json.Int burst);
+                ("rejected", Obs.Json.Int !rejected);
+                ("rate", Obs.Json.Float rejection_rate) ]) ]) ];
+  say "wrote BENCH_perf.json (serve section)"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -384,6 +522,14 @@ let () =
   let wants = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
   let run name f = if wants = [] || List.mem name wants then f () in
   if List.mem "--perf" args then perf ()
+  else if List.mem "serve" wants then begin
+    let rec clients_of = function
+      | "--clients" :: v :: _ -> Option.value ~default:4 (int_of_string_opt v)
+      | _ :: rest -> clients_of rest
+      | [] -> 4
+    in
+    serve_bench (max 1 (clients_of args))
+  end
   else begin
     run "fig1" fig1;
     run "table2" table2;

@@ -207,7 +207,23 @@ let selftest ffs gates jobs =
     (if degrade_ok then "ok" else "FAILED");
   let detected = List.length (List.filter (fun o -> o.Core.Inject.detected) outcomes) in
   Printf.printf "%d/%d classes detected and classified\n" detected (List.length outcomes);
-  if Core.Inject.all_detected outcomes && recover_ok && degrade_ok then 0 else 1
+  Printf.printf "service fault matrix (%d classes):\n"
+    (List.length Core.Inject.service_all);
+  let service = Core.Serve_chaos.selftest () in
+  List.iter (fun o -> Format.printf "  %a@." Core.Inject.pp_service_outcome o) service;
+  let retry_ok = Core.Serve_chaos.retry_recovers () in
+  Printf.printf "retry/backoff: transient first attempt completes on retry: %s\n"
+    (if retry_ok then "ok" else "FAILED");
+  let s_detected =
+    List.length (List.filter (fun o -> o.Core.Inject.s_detected) service)
+  in
+  Printf.printf "%d/%d service classes detected and classified\n" s_detected
+    (List.length service);
+  if
+    Core.Inject.all_detected outcomes && recover_ok && degrade_ok
+    && Core.Inject.all_service_detected service && retry_ok
+  then 0
+  else 1
 
 (* profile: run a traced sweep and print the self-time kernel ranking *)
 let profile circuit scale levels atpg policy retries trace_file jobs =
@@ -253,8 +269,134 @@ let profile_cmd =
     Term.(const profile $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ policy_arg
           $ retries_arg $ trace_arg $ jobs_arg)
 
+(* ---- flow as a service ---- *)
+
+let socket_arg =
+  let doc = "Unix socket path the daemon listens on / the client dials." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let queue_arg =
+  let doc =
+    "Bounded job-queue capacity; a submit past it is rejected immediately \
+     with a typed backpressure error instead of blocking or buffering."
+  in
+  Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+
+let serve metrics_file verbose jobs cache_dir socket_path queue_capacity =
+  if queue_capacity < 1 then begin
+    Format.eprintf "tpi_flow: queue capacity must be at least 1@.";
+    2
+  end
+  else
+    match
+      Core.Serve_daemon.run
+        { Core.Serve_daemon.socket_path; cache_dir; jobs;
+          queue_capacity; metrics_file; verbose }
+    with
+    | code -> code
+    | exception Unix.Unix_error (err, _, _) ->
+      Format.eprintf "tpi_flow serve: cannot listen on %s: %s@." socket_path
+        (Unix.error_message err);
+      2
+
+let client_id_arg =
+  let doc = "Job id the daemon tags this job's events with." in
+  Arg.(value & opt string "cli" & info [ "id" ] ~docv:"ID" ~doc)
+
+let priority_arg =
+  let doc = "Queue priority, 0 (default) to 9 (most urgent)." in
+  Arg.(value & opt int 0 & info [ "priority" ] ~docv:"P" ~doc)
+
+let deadline_arg =
+  let doc = "Per-job deadline in milliseconds; past it the job is cancelled." in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let ping_arg =
+  let doc = "Just check the daemon answers, print nothing else." in
+  Arg.(value & flag & info [ "ping" ] ~doc)
+
+let stats_arg =
+  let doc = "Print the daemon's service counters as JSON and exit." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let client circuit scale levels atpg tables policy socket_path id priority deadline_ms
+    ping stats =
+  match Core.Serve_client.connect ~socket_path with
+  | exception Unix.Unix_error (err, _, _) ->
+    Format.eprintf "tpi_flow client: cannot reach %s: %s@." socket_path
+      (Unix.error_message err);
+    2
+  | c ->
+    Fun.protect ~finally:(fun () -> Core.Serve_client.close c)
+      (fun () ->
+        if ping then
+          if Core.Serve_client.ping c then begin
+            Printf.printf "pong\n";
+            0
+          end
+          else begin
+            Format.eprintf "tpi_flow client: no pong from %s@." socket_path;
+            1
+          end
+        else if stats then
+          match Core.Serve_client.stats c with
+          | Some j ->
+            print_endline (Core.Json.to_string ~pretty:true j);
+            0
+          | None ->
+            Format.eprintf "tpi_flow client: no stats from %s@." socket_path;
+            1
+        else begin
+          let req =
+            Core.Serve_client.submit_line ~id ~priority ?deadline_ms ~circuit ?scale
+              ~levels ~atpg ~tables ~policy:(Core.Guard.policy_name policy) ()
+          in
+          let o = Core.Serve_client.run_job c req in
+          match (o.Core.Serve_client.output, o.Core.Serve_client.error) with
+          | Some output, _ ->
+            print_string output;
+            0
+          | None, Some (cls, detail) ->
+            Format.eprintf "tpi_flow client: %s: %s@." cls detail;
+            if o.Core.Serve_client.rejected then 2 else 1
+          | None, None ->
+            Format.eprintf "tpi_flow client: connection closed without a result@.";
+            1
+        end)
+
+let serve_cmd =
+  let doc =
+    "Run the flow as a long-lived daemon on a Unix socket: JSONL jobs in, streamed \
+     events out, with admission control (bounded queue, typed backpressure), per-job \
+     deadlines and cancellation, retry with exponential backoff for transient stage \
+     faults, client-disconnect reclamation and graceful drain on SIGTERM/SIGINT. \
+     Served results are byte-identical to the one-shot CLI."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const serve $ metrics_arg $ verbose_arg $ jobs_arg $ cache_arg $ socket_arg
+          $ queue_arg)
+
+let client_cmd =
+  let doc =
+    "Submit one job to a running daemon and print its output (byte-identical to \
+     running the same flags one-shot), or --ping / --stats it."
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const client $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ tables_arg
+          $ policy_arg $ socket_arg $ client_id_arg $ priority_arg $ deadline_arg
+          $ ping_arg $ stats_arg)
+
 let cmd =
   let doc = "Reproduce 'Impact of Test Point Insertion on Silicon Area and Timing during Layout' (DATE 2004)" in
-  Cmd.group ~default:run_term (Cmd.info "tpi_flow" ~doc) [ selftest_cmd; profile_cmd ]
+  Cmd.group ~default:run_term (Cmd.info "tpi_flow" ~doc)
+    [ selftest_cmd; profile_cmd; serve_cmd; client_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  (* a client vanishing mid-write must surface as a typed error, never as
+     a SIGPIPE process death *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  exit
+    (try Cmd.eval' cmd
+     with Sys_error msg ->
+       (try Format.eprintf "tpi_flow: io-error: %s@." msg with Sys_error _ -> ());
+       3)

@@ -35,8 +35,50 @@ let rec mkdir_p path =
     try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* "<key>.tmp-<pid>-<seq>" -> Some pid *)
+let tmp_owner name =
+  let marker = ".tmp-" in
+  let mlen = String.length marker in
+  let n = String.length name in
+  let rec last_at i best =
+    if i + mlen > n then best
+    else
+      last_at (i + 1) (if String.sub name i mlen = marker then Some i else best)
+  in
+  match last_at 0 None with
+  | None -> None
+  | Some i ->
+    (match
+       Scanf.sscanf (String.sub name (i + mlen) (n - i - mlen)) "%d-%d%!"
+         (fun pid _seq -> pid)
+     with
+     | pid -> Some pid
+     | exception _ -> None)
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception _ -> true (* EPERM and friends: someone else's live process *)
+
+(* a temp file whose writer is gone is debris from a crash: it will never
+   be renamed into place and lookups skip it, so it only wastes disk.
+   Files of live writers in other processes are left strictly alone. *)
+let clean_stale_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    Array.iter
+      (fun name ->
+        match tmp_owner name with
+        | Some pid when pid = Unix.getpid () || not (pid_alive pid) ->
+          (try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        | _ -> ())
+      entries
+
 let create ?(mem_capacity = default_capacity) ?dir () =
   Option.iter mkdir_p dir;
+  Option.iter clean_stale_tmp dir;
   { mutex = Mutex.create ();
     cond = Condition.create ();
     table = Hashtbl.create 64;
@@ -201,6 +243,40 @@ let with_lock t f =
 let find t key = with_lock t (fun () -> find_unlocked t key)
 let add t key value = with_lock t (fun () -> add_unlocked t key value)
 
+(* cross-process single-flight: compute under an exclusive fcntl lock on
+   "<path>.lock", re-checking the disk tier once the lock is ours — if a
+   concurrent process got there first we take its entry instead of
+   duplicating the work. The entry is published (atomic tmp + rename)
+   before the lock is released, so the next lock owner's re-check hits.
+   fcntl locks are per-process, which is exactly right here: in-process
+   racers are already serialized by the inflight table, so the second
+   thread never reaches this function for the same key. Returns
+   [(value, served_from_disk)]; called with the store mutex NOT held. *)
+let compute_locked t key f =
+  match t.dir with
+  | None -> (f (), false)
+  | Some dir ->
+    (match
+       Unix.openfile (path_of dir key ^ ".lock") [ Unix.O_CREAT; Unix.O_WRONLY ] 0o644
+     with
+     | exception Unix.Unix_error _ ->
+       (* unlockable (read-only dir, fd exhaustion): degrade to the
+          in-process guarantee rather than failing the computation *)
+       let value = f () in
+       disk_write t key value;
+       (value, false)
+     | fd ->
+       Fun.protect
+         ~finally:(fun () -> try Unix.close fd (* releases the lock *) with _ -> ())
+         (fun () ->
+           (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
+           match disk_read t key with
+           | Some value -> (value, true)
+           | None ->
+             let value = f () in
+             disk_write t key value;
+             (value, false)))
+
 let find_or_compute t ~key f =
   Mutex.lock t.mutex;
   let rec lookup () =
@@ -219,21 +295,28 @@ let find_or_compute t ~key f =
         Hashtbl.replace t.inflight key ();
         Obs.Metrics.incr m_misses;
         Mutex.unlock t.mutex;
-        let value =
-          try f ()
-          with e ->
-            Mutex.lock t.mutex;
-            Hashtbl.remove t.inflight key;
-            Condition.broadcast t.cond;
-            Mutex.unlock t.mutex;
-            raise e
+        let settle () =
+          Hashtbl.remove t.inflight key;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mutex
         in
-        Mutex.lock t.mutex;
-        add_unlocked t key value;
-        Hashtbl.remove t.inflight key;
-        Condition.broadcast t.cond;
-        Mutex.unlock t.mutex;
-        (value, false)
+        match compute_locked t key f with
+        | exception e ->
+          Mutex.lock t.mutex;
+          settle ();
+          raise e
+        | value, from_disk ->
+          Mutex.lock t.mutex;
+          if from_disk then begin
+            Obs.Metrics.incr m_disk_hits;
+            mem_insert t key value
+          end
+          else begin
+            Obs.Metrics.incr m_stores;
+            mem_insert t key value
+          end;
+          settle ();
+          (value, from_disk)
       end
   in
   lookup ()

@@ -20,6 +20,16 @@
     or corrupted files fall back to a recompute (counted in
     [cache.disk_corrupt]) instead of feeding [Marshal] unchecked bytes.
 
+    {b Processes.} A disk directory may be shared by several processes
+    (e.g. a serving daemon next to one-shot CLI runs). {!find_or_compute}
+    extends single-flight across them with an exclusive [fcntl] lock on
+    a per-key ["<key>.lock"] file: the computing process publishes the
+    entry before releasing the lock, and a process that loses the race
+    finds the entry on its post-lock re-check instead of recomputing
+    (counted as a disk hit). {!create} sweeps debris left by crashed
+    writers — temp files whose recorded owner PID is dead — while leaving
+    live writers' files alone.
+
     Effectiveness is observable in the metrics registry: [cache.mem_hits],
     [cache.disk_hits], [cache.misses], [cache.stores], [cache.evictions],
     [cache.disk_corrupt], [cache.bytes_written], [cache.bytes_read]. *)

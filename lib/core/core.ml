@@ -45,12 +45,19 @@ module Experiment = Flow.Experiment
 module Report = Flow.Report
 module Guard = Flow.Guard
 module Inject = Flow.Inject
+module Cancel = Flow.Cancel
 module Layout_check = Layout.Check
 module Lfsr = Lbist.Lfsr
 module Misr = Lbist.Misr
 module Bist = Lbist.Bist
 module Pool = Par.Pool
 module Stage_cache = Cache.Store
+module Serve_protocol = Serve.Protocol
+module Serve_daemon = Serve.Daemon
+module Serve_client = Serve.Client
+module Serve_chaos = Serve.Chaos
+module Jobq = Serve.Jobq
+module Retry = Serve.Retry
 module Trace = Obs.Trace
 module Metrics = Obs.Metrics
 module Json = Obs.Json

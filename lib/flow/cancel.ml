@@ -1,0 +1,39 @@
+type t = {
+  cancelled : string option Atomic.t;
+  deadline_us : float option;  (* absolute, on the Obs.Clock timeline *)
+}
+
+exception Cancelled of string
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled reason -> Some (Printf.sprintf "Flow.Cancel.Cancelled(%s)" reason)
+    | _ -> None)
+
+let create ?deadline_ms () =
+  { cancelled = Atomic.make None;
+    deadline_us =
+      Option.map (fun ms -> Obs.Clock.now_us () +. (ms *. 1000.0)) deadline_ms }
+
+(* first reason wins; a lost race just means someone else cancelled us a
+   moment earlier, which is the same outcome *)
+let cancel t ~reason =
+  ignore (Atomic.compare_and_set t.cancelled None (Some reason))
+
+let state t =
+  match Atomic.get t.cancelled with
+  | Some _ as s -> s
+  | None ->
+    (match t.deadline_us with
+     | Some d when Obs.Clock.now_us () > d ->
+       cancel t ~reason:"deadline";
+       Atomic.get t.cancelled
+     | _ -> None)
+
+let is_cancelled t = state t <> None
+
+let check t =
+  match state t with Some reason -> raise (Cancelled reason) | None -> ()
+
+let deadline_ms_left t =
+  Option.map (fun d -> (d -. Obs.Clock.now_us ()) /. 1000.0) t.deadline_us

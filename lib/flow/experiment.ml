@@ -29,14 +29,15 @@ type row = {
   result : Pipeline.result;
 }
 
-let options_of ?pool ?cache spec ~with_atpg ~tp_pct =
+let options_of ?pool ?cache ?cancel spec ~with_atpg ~tp_pct =
   { Pipeline.default_options with
     Pipeline.tp_percent = float_of_int tp_pct;
     chain_config = spec.chain_config;
     utilization = spec.utilization;
     run_atpg = with_atpg;
     pool;
-    cache }
+    cache;
+    cancel }
 
 (* design generation is level-invariant: with a cache every level of the
    fan-out shares one generator run (the store single-flights concurrent
@@ -79,22 +80,23 @@ type guarded_row = {
   g_report : Guard.report;
 }
 
-let run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?(with_atpg = true) spec
-    ~tp_pct =
+let run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage
+    ?(with_atpg = true) spec ~tp_pct =
   let report =
-    Guard.run ?policy ?retries ?tamper ~circuit:spec.circuit
-      ~options:(options_of ?pool ?cache spec ~with_atpg ~tp_pct)
+    Guard.run ?policy ?retries ?tamper ?on_stage ~circuit:spec.circuit
+      ~options:(options_of ?pool ?cache ?cancel spec ~with_atpg ~tp_pct)
       (fun () -> generate ?cache spec)
   in
   { g_spec = spec; g_tp_pct = tp_pct; g_report = report }
 
 (* guarded sweep: a failed level becomes a degraded row instead of killing
    the whole experiment matrix *)
-let sweep_guarded ?pool ?cache ?policy ?retries ?tamper ?(with_atpg = true)
-    ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
+let sweep_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage
+    ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
   let spec = spec_for ?scale circuit in
   fan_levels pool tp_levels (fun tp_pct ->
-      run_one_guarded ?pool ?cache ?policy ?retries ?tamper ~with_atpg spec ~tp_pct)
+      run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage ~with_atpg
+        spec ~tp_pct)
 
 let completed_rows grows =
   List.filter_map

@@ -61,6 +61,8 @@ val run_one_guarded :
   ?policy:Guard.policy ->
   ?retries:int ->
   ?tamper:(attempt:int -> Guard.stage -> Pipeline.state -> unit) ->
+  ?cancel:Cancel.t ->
+  ?on_stage:(Guard.stage -> Guard.stage_status -> unit) ->
   ?with_atpg:bool ->
   spec ->
   tp_pct:int ->
@@ -72,6 +74,8 @@ val sweep_guarded :
   ?policy:Guard.policy ->
   ?retries:int ->
   ?tamper:(attempt:int -> Guard.stage -> Pipeline.state -> unit) ->
+  ?cancel:Cancel.t ->
+  ?on_stage:(Guard.stage -> Guard.stage_status -> unit) ->
   ?with_atpg:bool ->
   ?tp_levels:int list ->
   ?scale:float ->
@@ -79,7 +83,9 @@ val sweep_guarded :
   guarded_row list
 (** Never raises on a stage failure; [tamper] is the chaos/fault-injection
     hook threaded through to {!Guard.run} (tampered runs bypass the
-    cache). *)
+    cache). [cancel] and [on_stage] are the service layer's cancellation
+    token and per-stage streaming hook ({!Guard.run}); a cancelled level
+    surfaces as a degraded row with a typed ["cancelled"] error. *)
 
 val completed_rows : guarded_row list -> row list
 (** The levels whose flow completed, as plain rows for the table renderers. *)

@@ -26,12 +26,18 @@ type stage_error = {
 
 exception Stage_failure of stage_error
 
+exception Transient of string
+(* a tool's way of saying "try the same thing again": classified under the
+   "transient" error class, which retry policies (Serve.Retry) treat as
+   retryable with backoff *)
+
 let () =
   Printexc.register_printer (function
     | Stage_failure e ->
       Some
         (Printf.sprintf "Flow.Guard.Stage_failure(%s, %s: %s)" (stage_name e.stage)
            e.circuit e.detail)
+    | Transient m -> Some (Printf.sprintf "Flow.Guard.Transient(%s)" m)
     | _ -> None)
 
 type policy =
@@ -94,6 +100,8 @@ let reseed base k = (base lxor (k * 0x9E3779B1)) land 0x3FFFFFFF
 
 let describe_exn = function
   | Stage_failure e -> e.detail
+  | Transient m -> "transient: " ^ m
+  | Cancel.Cancelled reason -> "cancelled: " ^ reason
   | Netlist.Check.Check_failed vs ->
     let first =
       match vs with v :: _ -> Netlist.Check.class_name v | [] -> "none"
@@ -112,6 +120,17 @@ let describe_exn = function
   | Out_of_memory -> "out-of-memory"
   | Stack_overflow -> "stack-overflow"
   | e -> "exception: " ^ Printexc.to_string e
+
+(* the class tag is the detail's leading token: "cell-overlap: ..." ->
+   "cell-overlap". Every detail produced here and by the checkers follows
+   that convention, so retry policies can dispatch on the class alone. *)
+let error_class (e : stage_error) =
+  match String.index_opt e.detail ':' with
+  | Some i -> String.sub e.detail 0 i
+  | None -> e.detail
+
+let is_transient e = error_class e = "transient"
+let is_cancelled e = error_class e = "cancelled"
 
 let fail stage circuit detail = raise (Stage_failure { stage; circuit; detail })
 
@@ -172,6 +191,14 @@ let stage_body = function
 let m_stage_failures = Obs.Metrics.counter "guard.stage_failures"
 let m_retries = Obs.Metrics.counter "guard.retries"
 let m_stages_run = Obs.Metrics.counter "guard.stages_run"
+let m_cancelled = Obs.Metrics.counter "guard.cancelled"
+
+(* progress callbacks come from the service layer; a misbehaving one (say,
+   writing to a dead client) must not take the flow down with it *)
+let notify on_stage stage status =
+  match on_stage with
+  | None -> ()
+  | Some f -> (try f stage status with _ -> ())
 
 (* One pass over the six stages. Returns the stage log (all six stages, in
    order), the reached state and the first error, never raising.
@@ -181,7 +208,7 @@ let m_stages_run = Obs.Metrics.counter "guard.stages_run"
    and [Trace.stop], whose elapsed milliseconds become the
    [Completed]/[Failed] payload — the same numbers that land in the
    exported trace, so there is exactly one clock. *)
-let attempt ~circuit ~options ~tamper ~k mk_design =
+let attempt ~circuit ~options ~tamper ~cancel ~on_stage ~k mk_design =
   match (try Ok (mk_design ()) with e -> Error e) with
   | Error e ->
     let err =
@@ -195,42 +222,68 @@ let attempt ~circuit ~options ~tamper ~k mk_design =
     let ctx = match tamper with None -> P.cache_ctx options | Some _ -> None in
     let log = ref [] in
     let error = ref None in
+    let record stage status =
+      log := (stage, status) :: !log;
+      notify on_stage stage status
+    in
     List.iter
       (fun stage ->
         match !error with
-        | Some _ -> log := (stage, Skipped) :: !log
+        | Some _ -> record stage Skipped
         | None ->
-          let span =
-            Obs.Trace.enter
-              ~name:("stage." ^ stage_name stage)
-              ~attrs:
-                [ ("circuit", Obs.Json.String circuit);
-                  ("attempt", Obs.Json.Int (k + 1)) ]
-              ()
-          in
-          Obs.Metrics.incr m_stages_run;
-          (try
-             P.cached_stage ctx (stage_name stage) (stage_body stage) st;
-             (match tamper with Some f -> f ~attempt:k stage st | None -> ());
-             post_check ~circuit stage st;
-             log := (stage, Completed (Obs.Trace.stop span)) :: !log
-           with
-           | Stage_failure e ->
-             error := Some e;
-             Obs.Metrics.incr m_stage_failures;
-             log := (stage, Failed (Obs.Trace.stop ~error:e.detail span)) :: !log
-           | e ->
-             let detail = describe_exn e in
-             error := Some { stage; circuit; detail };
-             Obs.Metrics.incr m_stage_failures;
-             log := (stage, Failed (Obs.Trace.stop ~error:detail span)) :: !log))
+          (* stage boundary: a cancelled or expired token stops the attempt
+             here; the stage never starts, so it logs as Skipped under a
+             typed "cancelled" error *)
+          (match Option.bind cancel Cancel.state with
+           | Some reason ->
+             error := Some { stage; circuit; detail = "cancelled: " ^ reason };
+             Obs.Metrics.incr m_cancelled;
+             record stage Skipped
+           | None ->
+             let span =
+               Obs.Trace.enter
+                 ~name:("stage." ^ stage_name stage)
+                 ~attrs:
+                   [ ("circuit", Obs.Json.String circuit);
+                     ("attempt", Obs.Json.Int (k + 1)) ]
+                 ()
+             in
+             Obs.Metrics.incr m_stages_run;
+             (try
+                P.cached_stage ctx (stage_name stage) (stage_body stage) st;
+                (match tamper with Some f -> f ~attempt:k stage st | None -> ());
+                post_check ~circuit stage st;
+                record stage (Completed (Obs.Trace.stop span))
+              with
+              | Stage_failure e ->
+                error := Some e;
+                Obs.Metrics.incr m_stage_failures;
+                record stage (Failed (Obs.Trace.stop ~error:e.detail span))
+              | e ->
+                let detail = describe_exn e in
+                error := Some { stage; circuit; detail };
+                Obs.Metrics.incr
+                  (if String.starts_with ~prefix:"cancelled:" detail then m_cancelled
+                   else m_stage_failures);
+                record stage (Failed (Obs.Trace.stop ~error:detail span)))))
       all_stages;
     (List.rev !log, Some st, !error)
 
 let run ?(policy = Fail_fast) ?(retries = default_retries) ?(options = P.default_options)
-    ?tamper ~circuit mk_design =
+    ?tamper ?cancel ?on_stage ~circuit mk_design =
+  (* the explicit token wins; otherwise the one already threaded through
+     the options (which the pipeline polls inside cached_stage) is also
+     the one the guard polls between stages *)
+  let cancel = match cancel with Some _ as c -> c | None -> options.P.cancel in
+  let options =
+    match (cancel, options.P.cancel) with
+    | Some _, None -> { options with P.cancel }
+    | _ -> options
+  in
   let rec go k options =
-    let log, state, error = attempt ~circuit ~options ~tamper ~k mk_design in
+    let log, state, error =
+      attempt ~circuit ~options ~tamper ~cancel ~on_stage ~k mk_design
+    in
     match error with
     | None ->
       let result =
@@ -249,7 +302,9 @@ let run ?(policy = Fail_fast) ?(retries = default_retries) ?(options = P.default
              Some { stage = Sta; circuit; detail = "internal: incomplete final state" };
            state; result = None })
     | Some e ->
-      if policy = Recover && k < retries && seed_sensitive e.stage then begin
+      (* a cancelled attempt is the caller's decision, never retried *)
+      if policy = Recover && k < retries && seed_sensitive e.stage && not (is_cancelled e)
+      then begin
         Obs.Metrics.incr m_retries;
         go (k + 1) { options with P.seed = reseed options.P.seed (k + 1) }
       end

@@ -45,6 +45,23 @@ type stage_error = {
 exception Stage_failure of stage_error
 (** Internal signalling; never escapes {!run}. *)
 
+exception Transient of string
+(** A tool's signal that the same attempt may succeed if simply re-run
+    (resource hiccup, flaky license, injected chaos). Classified under
+    the ["transient"] error class, which service-level retry policies
+    ({!Serve.Retry}) treat as retryable with backoff. *)
+
+val error_class : stage_error -> string
+(** The detail's leading class tag (["cell-overlap: two cells..."] ->
+    ["cell-overlap"]); the whole detail when untagged. *)
+
+val is_transient : stage_error -> bool
+(** [error_class e = "transient"]. *)
+
+val is_cancelled : stage_error -> bool
+(** [error_class e = "cancelled"] — the attempt was stopped by a
+    {!Cancel} token (explicit cancel or deadline), not by a fault. *)
+
 type policy =
   | Fail_fast
   | Recover
@@ -83,13 +100,24 @@ val run :
   ?retries:int ->
   ?options:Pipeline.options ->
   ?tamper:(attempt:int -> stage -> Pipeline.state -> unit) ->
+  ?cancel:Cancel.t ->
+  ?on_stage:(stage -> stage_status -> unit) ->
   circuit:string ->
   (unit -> Netlist.Design.t) ->
   report
 (** [run ~circuit mk_design] generates a design with [mk_design] and runs
     the guarded flow. [tamper], used by {!Inject} and the chaos tests, is
     called after each stage's body and before its invariant checks; it may
-    mutate the state (fault injection) or raise (simulated tool crash). *)
+    mutate the state (fault injection) or raise (simulated tool crash).
+
+    [cancel] is polled at every stage boundary (both here and inside
+    {!Pipeline.cached_stage}); once it fires, the remaining stages are
+    skipped and the report carries a typed ["cancelled"] error, which
+    {!Recover} never retries. When absent, [options.cancel] is used.
+
+    [on_stage], the service layer's streaming hook, is called with each
+    stage's resolution (completed, failed or skipped) as it happens;
+    exceptions it raises are swallowed. *)
 
 val pp_stage_error : Format.formatter -> stage_error -> unit
 val pp_report : Format.formatter -> report -> unit

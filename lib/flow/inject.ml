@@ -319,6 +319,52 @@ let degrade_keeps_partials () =
   | Some st -> st.P.s_placement <> None && st.P.s_route <> None && st.P.s_sta = None
   | None -> false
 
+(* ---- service-level fault matrix (executed by Serve.Chaos) ---- *)
+
+type service_fault =
+  | Malformed_request
+  | Queue_overflow
+  | Client_disconnect
+
+let service_all = [ Malformed_request; Queue_overflow; Client_disconnect ]
+
+let service_name = function
+  | Malformed_request -> "malformed-request"
+  | Queue_overflow -> "queue-overflow"
+  | Client_disconnect -> "client-disconnect"
+
+let service_expected_class = function
+  | Malformed_request -> "bad-request"
+  | Queue_overflow -> "backpressure"
+  | Client_disconnect -> "cancelled"
+
+type service_outcome = {
+  fault : service_fault;
+  s_expected : string;
+  observed : string option;
+  recovered : bool;
+  s_detected : bool;
+}
+
+let service_outcome fault ~observed ~recovered =
+  let s_expected = service_expected_class fault in
+  { fault;
+    s_expected;
+    observed;
+    recovered;
+    s_detected = observed = Some s_expected && recovered }
+
+let all_service_detected outcomes = List.for_all (fun o -> o.s_detected) outcomes
+
+let pp_service_outcome ppf o =
+  Format.fprintf ppf "%-22s -> %s" (service_name o.fault)
+    (match (o.s_detected, o.observed) with
+     | true, _ -> Printf.sprintf "detected (%s) and daemon recovered" o.s_expected
+     | false, Some c when not o.recovered ->
+       Printf.sprintf "classified (%s) but daemon DID NOT RECOVER" c
+     | false, Some c -> Printf.sprintf "MISCLASSIFIED (wanted %s, got %s)" o.s_expected c
+     | false, None -> Printf.sprintf "MISSED (wanted %s, no error reported)" o.s_expected)
+
 let pp_outcome ppf o =
   Format.fprintf ppf "%-22s at %-13s -> %s" (name o.mutation)
     (Guard.stage_name o.injected_at)

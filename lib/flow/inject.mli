@@ -55,3 +55,43 @@ val degrade_keeps_partials : unit -> bool
     typed error, without raising. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 Service-level fault matrix}
+
+    Fault classes aimed at the {!Serve} daemon rather than the flow
+    itself: hostile input, overload and client death. The matrix (what to
+    inject, which typed error class must come back, and that the daemon
+    must keep serving afterwards) is declared here next to the flow
+    matrix; the execution harness lives in [Serve.Chaos], which drives a
+    real in-process daemon through its Unix socket and fills in a
+    {!service_outcome} per class. *)
+
+type service_fault =
+  | Malformed_request   (** syntactically broken JSONL request line *)
+  | Queue_overflow      (** admission burst past the bounded queue *)
+  | Client_disconnect   (** client vanishes while its job is in flight *)
+
+val service_all : service_fault list
+(** The service injection matrix (3 classes). *)
+
+val service_name : service_fault -> string
+
+val service_expected_class : service_fault -> string
+(** The typed error class the daemon must produce: ["bad-request"],
+    ["backpressure"], ["cancelled"]. *)
+
+type service_outcome = {
+  fault : service_fault;
+  s_expected : string;          (** expected error class *)
+  observed : string option;     (** class the daemon actually reported *)
+  recovered : bool;  (** daemon still answers on a fresh connection after *)
+  s_detected : bool; (** right class AND recovered *)
+}
+
+val service_outcome :
+  service_fault -> observed:string option -> recovered:bool -> service_outcome
+(** Smart constructor: fills in [s_expected] and derives [s_detected]. *)
+
+val all_service_detected : service_outcome list -> bool
+
+val pp_service_outcome : Format.formatter -> service_outcome -> unit

@@ -10,6 +10,7 @@ type options = {
   seed : int;
   pool : Par.Pool.t option;
   cache : Cache.Store.t option;
+  cancel : Cancel.t option;
 }
 
 let default_options =
@@ -21,7 +22,8 @@ let default_options =
     tpi_config = Tpi.Select.default_config;
     seed = 0x71C0;
     pool = None;
-    cache = None }
+    cache = None;
+    cancel = None }
 
 type result = {
   design : Netlist.Design.t;
@@ -263,8 +265,10 @@ let restore st c =
 let cache_version = "tpi-stage-cache-v1"
 
 (* every option a stage outcome can depend on; the pool (execution layout
-   only, §6.1) and the cache itself are deliberately excluded. Marshal of
-   this immutable tuple of scalars and plain variants is byte-stable. *)
+   only, §6.1), the cache itself and the cancellation token (which only
+   decides whether the next stage starts, never what it computes) are
+   deliberately excluded. Marshal of this immutable tuple of scalars and
+   plain variants is byte-stable. *)
 let options_fingerprint o =
   Digest.to_hex
     (Digest.string
@@ -294,6 +298,9 @@ let m_hits = Obs.Metrics.counter "cache.stage_hits"
 let m_misses = Obs.Metrics.counter "cache.stage_misses"
 
 let cached_stage ctx name body (st : state) =
+  (* stage boundary: the one place a cancelled/expired job stops; a hit or
+     a body already underway always runs to completion (Cancel contract) *)
+  Option.iter Cancel.check st.s_options.cancel;
   match ctx with
   | None -> body st
   | Some ctx ->

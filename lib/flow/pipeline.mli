@@ -31,6 +31,12 @@ type options = {
           uncached runs are byte-identical in results and kernel metrics
           (DESIGN.md §6.2); like the pool, the cache never affects {e
           what} is computed, only how fast *)
+  cancel : Cancel.t option;
+      (** cooperative cancellation token, polled at every stage boundary
+          ({!cached_stage} raises {!Cancel.Cancelled} before starting the
+          next stage once the token is cancelled or past its deadline).
+          Like the pool and the cache, excluded from cache keys: it never
+          changes what a completed stage computes *)
 }
 
 val default_options : options
@@ -126,4 +132,5 @@ val cached_stage : cache_ctx option -> string -> (state -> unit) -> state -> uni
     into [st] and the stage's recorded metrics delta replayed; on a miss
     [body] runs under {!Obs.Metrics.with_scoped} and the resulting
     snapshot + delta are stored. [name] must be the stage's flow name
-    (["tpi-scan"], ["place"], ...). *)
+    (["tpi-scan"], ["place"], ...). Raises {!Cancel.Cancelled} before
+    doing anything when the options carry a cancelled token. *)

@@ -1,0 +1,22 @@
+(** Execution harness for the service-level fault matrix
+    ({!Flow.Inject.service_all}).
+
+    Each scenario boots a real daemon on a scratch Unix socket, injects
+    one fault class through the socket — a malformed request line, an
+    admission burst past a capacity-1 queue, a client that vanishes with
+    a job in flight — and asserts the daemon (a) answers with the typed
+    error class the matrix expects and (b) still serves a fresh
+    connection afterwards. Deterministic: the scenarios steer timing with
+    the [sleep_ms] chaos hook, never with races. *)
+
+val run_one : ?dir:string -> Flow.Inject.service_fault -> Flow.Inject.service_outcome
+(** [dir] hosts the scratch socket (default [Filename.get_temp_dir_name ()]). *)
+
+val selftest : ?dir:string -> unit -> Flow.Inject.service_outcome list
+(** {!run_one} over {!Flow.Inject.service_all}, matrix order. *)
+
+val retry_recovers : ?dir:string -> unit -> bool
+(** Chaos demo for the retry path: a job whose first attempt carries an
+    injected transient stage fault ([fail_attempts=1]) must complete on
+    attempt 2 after one [retrying] event, with output identical to an
+    untampered job's. *)

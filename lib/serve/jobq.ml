@@ -1,0 +1,94 @@
+let priorities = 10
+
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queues : 'a Queue.t array;  (* index = priority; [priorities-1] popped first *)
+  capacity : int;
+  mutable count : int;
+  mutable closed : bool;
+}
+
+let create ~capacity () =
+  { mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    queues = Array.init priorities (fun _ -> Queue.create ());
+    capacity = max 1 capacity;
+    count = 0;
+    closed = false }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let capacity t = t.capacity
+let length t = with_lock t (fun () -> t.count)
+let is_closed t = with_lock t (fun () -> t.closed)
+
+type rejection =
+  | Full of { depth : int; capacity : int }
+  | Closed
+
+let push t ~priority item =
+  with_lock t (fun () ->
+      if t.closed then Error Closed
+      else if t.count >= t.capacity then
+        Error (Full { depth = t.count; capacity = t.capacity })
+      else begin
+        let p = max 0 (min (priorities - 1) priority) in
+        Queue.push item t.queues.(p);
+        t.count <- t.count + 1;
+        Condition.signal t.nonempty;
+        Ok t.count
+      end)
+
+let take_highest t =
+  let rec go p =
+    if p < 0 then None
+    else if Queue.is_empty t.queues.(p) then go (p - 1)
+    else begin
+      t.count <- t.count - 1;
+      Some (Queue.pop t.queues.(p))
+    end
+  in
+  go (priorities - 1)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        match take_highest t with
+        | Some item -> Some item
+        | None ->
+          if t.closed then None
+          else begin
+            Condition.wait t.nonempty t.mutex;
+            wait ()
+          end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      (* wake the consumer so an empty closed queue returns None *)
+      Condition.broadcast t.nonempty)
+
+let scan_remove t pred =
+  with_lock t (fun () ->
+      let removed = ref [] in
+      (* walk priorities in pop order so the returned list is too *)
+      for p = priorities - 1 downto 0 do
+        let q = t.queues.(p) in
+        let keep = Queue.create () in
+        Queue.iter
+          (fun item ->
+            if pred item then begin
+              removed := item :: !removed;
+              t.count <- t.count - 1
+            end
+            else Queue.push item keep)
+          q;
+        Queue.clear q;
+        Queue.transfer keep q
+      done;
+      List.rev !removed)

@@ -1,0 +1,40 @@
+(** Bounded priority job queue with typed admission control.
+
+    The daemon's overload valve: {!push} never blocks and never grows the
+    queue past its capacity — a full queue answers with a typed
+    {!rejection} the caller turns into a ["backpressure"] error, so a
+    request burst can neither OOM the daemon nor wedge its readers.
+
+    Priorities are [0..9], higher first, strict FIFO within a priority.
+    One consumer ({!pop}) blocks until work arrives; {!close} stops
+    admission while letting the consumer drain what was already accepted —
+    the first half of graceful drain. *)
+
+type 'a t
+
+val create : capacity:int -> unit -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+type rejection =
+  | Full of { depth : int; capacity : int }  (** queue at capacity *)
+  | Closed                                   (** draining: admission stopped *)
+
+val push : 'a t -> priority:int -> 'a -> (int, rejection) result
+(** Non-blocking admission; [Ok depth] is the queue depth after the push.
+    Priorities outside [0..9] are clamped. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available (highest priority first, FIFO
+    within); [None] once the queue is closed {e and} empty. *)
+
+val close : 'a t -> unit
+(** Stop admitting; idempotent. Pending items remain poppable. *)
+
+val is_closed : 'a t -> bool
+
+val scan_remove : 'a t -> ('a -> bool) -> 'a list
+(** Remove (and return, in pop order) every queued item matching the
+    predicate — how a dead client's queued jobs give their slots back. *)

@@ -1,0 +1,26 @@
+type policy = {
+  max_retries : int;
+  base_backoff_ms : float;
+  multiplier : float;
+  max_backoff_ms : float;
+}
+
+(* the service contract's retry table (DESIGN.md §6.3): transient faults
+   get a real budget, resource exhaustion one cautious retry after a
+   longer pause; everything else fails the job immediately *)
+let table =
+  [ ("transient",
+     { max_retries = 4; base_backoff_ms = 25.0; multiplier = 2.0; max_backoff_ms = 2000.0 });
+    ("out-of-memory",
+     { max_retries = 1; base_backoff_ms = 250.0; multiplier = 2.0; max_backoff_ms = 2000.0 })
+  ]
+
+let policy_for cls = List.assoc_opt cls table
+
+let retryable e =
+  if Flow.Guard.is_cancelled e then None
+  else policy_for (Flow.Guard.error_class e)
+
+let backoff_ms p ~attempt =
+  let k = max 0 (attempt - 1) in
+  Float.min p.max_backoff_ms (p.base_backoff_ms *. (p.multiplier ** float_of_int k))

@@ -1,0 +1,31 @@
+(** Per-class retry policies with exponential backoff.
+
+    When a job's guarded run fails, the daemon looks the error's
+    {!Flow.Guard.error_class} up here: a class with a policy is retried —
+    after an exponentially growing, capped backoff — up to the class's
+    budget; everything else (and every budget exhaustion) is a permanent,
+    typed job error. ["cancelled"] never appears in the table: stopping a
+    job is the caller's decision, not a fault.
+
+    The table is part of the service contract (DESIGN.md §6.3). *)
+
+type policy = {
+  max_retries : int;        (** retry budget; attempts = 1 + this at most *)
+  base_backoff_ms : float;  (** delay before the first retry *)
+  multiplier : float;       (** backoff growth per retry *)
+  max_backoff_ms : float;   (** backoff ceiling *)
+}
+
+val table : (string * policy) list
+(** Error class -> policy, e.g. [("transient", ...)]. Classes absent from
+    the table are not retryable. *)
+
+val policy_for : string -> policy option
+
+val retryable : Flow.Guard.stage_error -> policy option
+(** [policy_for (Guard.error_class e)], with the guarantee that cancelled
+    errors are never retryable. *)
+
+val backoff_ms : policy -> attempt:int -> float
+(** Delay before retry [attempt] (1-based):
+    [min max_backoff (base * multiplier ^ (attempt - 1))]. *)

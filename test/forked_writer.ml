@@ -1,0 +1,22 @@
+(* Child process for the cross-process cache single-flight test: open the
+   shared store, record one marker byte per actual compute, and race
+   find_or_compute on the given key. Spawned (fork+exec) by
+   Test_serve.test_forked_writers — a bare Unix.fork is not allowed in the
+   test binary itself once other suites have created domains. *)
+let () =
+  match Sys.argv with
+  | [| _; dir; key; marker |] ->
+    let t = Cache.Store.create ~dir () in
+    let compute () =
+      (* O_APPEND: one byte lands per compute whoever wins the race *)
+      let fd =
+        Unix.openfile marker [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+      in
+      ignore (Unix.write_substring fd "x" 0 1);
+      Unix.close fd;
+      Unix.sleepf 0.05; (* widen the race window *)
+      "shared-value"
+    in
+    let v, _ = Cache.Store.find_or_compute t ~key compute in
+    exit (if v = "shared-value" then 0 else 1)
+  | _ -> exit 2

@@ -21,4 +21,5 @@ let () =
       ("guard", Test_guard.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
-      ("cache", Test_cache.suite) ]
+      ("cache", Test_cache.suite);
+      ("serve", Test_serve.suite) ]

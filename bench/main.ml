@@ -513,15 +513,61 @@ let serve_bench clients =
                 ("rate", Obs.Json.Float rejection_rate) ]) ]) ];
   say "wrote BENCH_perf.json (serve section)"
 
+(* perf-regression gate: diff the (freshly measured or existing)
+   BENCH_perf.json against a checked-in baseline and exit non-zero past
+   tolerance -- the CI step that makes a silent slowdown loud *)
+let check_gate ~baseline ~tolerance_pct =
+  match
+    Core.Perfgate.check ~baseline_path:baseline ~current_path:"BENCH_perf.json"
+      ~tolerance_pct
+  with
+  | exception (Failure msg | Sys_error msg) ->
+    Printf.eprintf "bench --check: %s\n" msg;
+    exit 2
+  | verdict ->
+    Format.printf "%a@." Core.Perfgate.pp_verdict verdict;
+    if verdict.Core.Perfgate.violations <> [] then exit 1
+
+let rec flag_value name = function
+  | f :: v :: _ when f = name -> Some v
+  | _ :: rest -> flag_value name rest
+  | [] -> None
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--full" args then begin
     table1_scale := 1.0;
     area_scale := None (* default per-circuit scales are the documented ones *)
   end;
+  let check_baseline = flag_value "--check" args in
+  let tolerance_pct =
+    match Option.bind (flag_value "--tolerance" args) float_of_string_opt with
+    | Some t when t >= 0.0 -> t
+    | _ -> 25.0
+  in
+  let gate () =
+    match check_baseline with
+    | Some baseline -> check_gate ~baseline ~tolerance_pct
+    | None -> ()
+  in
   let wants = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let wants =
+    (* flag operands are not section names *)
+    match check_baseline with Some b -> List.filter (fun w -> w <> b) wants | None -> wants
+  in
+  let wants =
+    match flag_value "--tolerance" args with
+    | Some t -> List.filter (fun w -> w <> t) wants
+    | None -> wants
+  in
   let run name f = if wants = [] || List.mem name wants then f () in
-  if List.mem "--perf" args then perf ()
+  if List.mem "--perf" args then begin
+    perf ();
+    gate ()
+  end
+  else if check_baseline <> None && wants = [] then
+    (* bare `--check BASELINE`: judge the existing BENCH_perf.json *)
+    gate ()
   else if List.mem "serve" wants then begin
     let rec clients_of = function
       | "--clients" :: v :: _ -> Option.value ~default:4 (int_of_string_opt v)

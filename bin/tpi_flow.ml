@@ -88,6 +88,44 @@ let cache_arg =
   in
   Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
 
+(* ---- telemetry plane flags (shared by run/selftest/profile/serve) ---- *)
+
+let log_file_arg =
+  let doc = "Append structured JSONL log records (timestamp, level, domain, job and \
+             span correlation fields) to this file." in
+  Arg.(value & opt (some string) None & info [ "log-file" ] ~docv:"FILE" ~doc)
+
+let log_level_arg =
+  let doc = "Minimum log level: debug, info, warn or error." in
+  Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let flight_arg =
+  let doc =
+    "Write a flight-recorder post-mortem (the last events before the failure) to \
+     this file when a stage faults, a job exhausts its retries or the daemon dies \
+     on a signal."
+  in
+  Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+
+let prom_arg =
+  let doc =
+    "Write the metrics registry as a Prometheus text-format exposition snapshot \
+     (atomically; the daemon republishes it about once a second)."
+  in
+  Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE" ~doc)
+
+let telemetry_term =
+  let setup log_file log_level flight =
+    (match Core.Log.level_of_string log_level with
+     | Some l -> Core.Log.set_level l
+     | None ->
+       Format.eprintf "tpi_flow: unknown log level %s (debug|info|warn|error)@."
+         log_level);
+    (match log_file with Some path -> Core.Log.to_file path | None -> ());
+    Core.Recorder.set_dump_path flight
+  in
+  Term.(const setup $ log_file_arg $ log_level_arg $ flight_arg)
+
 let store_of_dir = Option.map (fun dir -> Core.Stage_cache.create ~dir ())
 
 (* a pool only when asked for: -j 1 never spawns a domain *)
@@ -121,8 +159,8 @@ let guarded_sweep ?pool ?cache spec ~policy ~retries ~atpg levels =
   in
   loop [] levels
 
-let run circuit scale levels atpg tables svg_dir def_file lib_file policy retries
-    trace_file metrics_file verbose jobs cache_dir =
+let run () circuit scale levels atpg tables svg_dir def_file lib_file policy retries
+    trace_file metrics_file prom_file verbose jobs cache_dir =
   match validated ?scale ~circuit ~levels () with
   | Error msg ->
     Format.eprintf "tpi_flow: %s@." msg;
@@ -179,6 +217,11 @@ let run circuit scale levels atpg tables svg_dir def_file lib_file policy retrie
      Core.Metrics.write_json path;
      Printf.printf "wrote %s\n" path
    | None -> ());
+  (match prom_file with
+   | Some path ->
+     Core.Export.write_prom path;
+     Printf.printf "wrote %s\n" path
+   | None -> ());
   match (policy, Core.Experiment.degraded_rows grows) with
   | Core.Guard.Fail_fast, g :: _ ->
     (match g.Core.Experiment.g_report.Core.Guard.error with
@@ -195,7 +238,7 @@ let selftest_gates_arg =
   let doc = "Gates in the injection-target circuit." in
   Arg.(value & opt int 500 & info [ "gates" ] ~docv:"N" ~doc)
 
-let selftest ffs gates jobs =
+let selftest () ffs gates jobs =
   Printf.printf "fault-injection matrix (%d classes):\n" (List.length Core.Inject.all);
   let outcomes = with_jobs jobs (fun pool -> Core.Inject.selftest ?pool ~ffs ~gates ()) in
   List.iter (fun o -> Format.printf "  %a@." Core.Inject.pp_outcome o) outcomes;
@@ -219,6 +262,9 @@ let selftest ffs gates jobs =
   in
   Printf.printf "%d/%d service classes detected and classified\n" s_detected
     (List.length service);
+  if Core.Recorder.dumps () > 0 then
+    Printf.printf "flight recorder: %d post-mortem dump(s) written\n"
+      (Core.Recorder.dumps ());
   if
     Core.Inject.all_detected outcomes && recover_ok && degrade_ok
     && Core.Inject.all_service_detected service && retry_ok
@@ -226,7 +272,7 @@ let selftest ffs gates jobs =
   else 1
 
 (* profile: run a traced sweep and print the self-time kernel ranking *)
-let profile circuit scale levels atpg policy retries trace_file jobs =
+let profile () circuit scale levels atpg policy retries trace_file jobs =
   match validated ?scale ~circuit ~levels () with
   | Error msg ->
     Format.eprintf "tpi_flow: %s@." msg;
@@ -243,6 +289,8 @@ let profile circuit scale levels atpg policy retries trace_file jobs =
       completed (List.length grows)
       (List.length (Core.Trace.spans ()));
     Format.printf "%a@." Core.Trace.pp_profile ();
+    (* where each domain's self time went: the -j N diagnosis table *)
+    Format.printf "@.per-domain self time:@.%a@." Core.Trace.pp_domains ();
     (match trace_file with
      | Some path ->
        Core.Trace.write_chrome path;
@@ -251,14 +299,15 @@ let profile circuit scale levels atpg policy retries trace_file jobs =
     if completed = List.length grows then 0 else 1
 
 let run_term =
-  Term.(const run $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ tables_arg
-        $ svg_arg $ def_arg $ lib_arg $ policy_arg $ retries_arg
-        $ trace_arg $ metrics_arg $ verbose_arg $ jobs_arg $ cache_arg)
+  Term.(const run $ telemetry_term $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg
+        $ tables_arg $ svg_arg $ def_arg $ lib_arg $ policy_arg $ retries_arg
+        $ trace_arg $ metrics_arg $ prom_arg $ verbose_arg $ jobs_arg $ cache_arg)
 
 let selftest_cmd =
   let doc = "Run the guarded-flow fault-injection selftest (10 mutation classes)." in
   Cmd.v (Cmd.info "selftest" ~doc)
-    Term.(const selftest $ selftest_ffs_arg $ selftest_gates_arg $ jobs_arg)
+    Term.(const selftest $ telemetry_term $ selftest_ffs_arg $ selftest_gates_arg
+          $ jobs_arg)
 
 let profile_cmd =
   let doc =
@@ -266,8 +315,8 @@ let profile_cmd =
      span minus time spent in its children), with call counts and allocation totals."
   in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const profile $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ policy_arg
-          $ retries_arg $ trace_arg $ jobs_arg)
+    Term.(const profile $ telemetry_term $ circuit_arg $ scale_arg $ levels_arg
+          $ atpg_arg $ policy_arg $ retries_arg $ trace_arg $ jobs_arg)
 
 (* ---- flow as a service ---- *)
 
@@ -282,7 +331,7 @@ let queue_arg =
   in
   Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
 
-let serve metrics_file verbose jobs cache_dir socket_path queue_capacity =
+let serve () metrics_file prom_file verbose jobs cache_dir socket_path queue_capacity =
   if queue_capacity < 1 then begin
     Format.eprintf "tpi_flow: queue capacity must be at least 1@.";
     2
@@ -291,7 +340,7 @@ let serve metrics_file verbose jobs cache_dir socket_path queue_capacity =
     match
       Core.Serve_daemon.run
         { Core.Serve_daemon.socket_path; cache_dir; jobs;
-          queue_capacity; metrics_file; verbose }
+          queue_capacity; metrics_file; prom_file; verbose }
     with
     | code -> code
     | exception Unix.Unix_error (err, _, _) ->
@@ -319,8 +368,12 @@ let stats_arg =
   let doc = "Print the daemon's service counters as JSON and exit." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let client_prom_arg =
+  let doc = "Print the daemon's live Prometheus text exposition and exit." in
+  Arg.(value & flag & info [ "prom" ] ~doc)
+
 let client circuit scale levels atpg tables policy socket_path id priority deadline_ms
-    ping stats =
+    ping stats prom =
   match Core.Serve_client.connect ~socket_path with
   | exception Unix.Unix_error (err, _, _) ->
     Format.eprintf "tpi_flow client: cannot reach %s: %s@." socket_path
@@ -338,6 +391,14 @@ let client circuit scale levels atpg tables policy socket_path id priority deadl
             Format.eprintf "tpi_flow client: no pong from %s@." socket_path;
             1
           end
+        else if prom then
+          match Core.Serve_client.prometheus c with
+          | Some text ->
+            print_string text;
+            0
+          | None ->
+            Format.eprintf "tpi_flow client: no metrics from %s@." socket_path;
+            1
         else if stats then
           match Core.Serve_client.stats c with
           | Some j ->
@@ -364,6 +425,86 @@ let client circuit scale levels atpg tables policy socket_path id priority deadl
             1
         end)
 
+(* ---- top: live dashboard over the daemon's Prometheus exposition ---- *)
+
+let interval_arg =
+  let doc = "Polling interval in milliseconds." in
+  Arg.(value & opt int 1000 & info [ "interval-ms" ] ~docv:"MS" ~doc)
+
+let iterations_arg =
+  let doc = "Number of polls before exiting; 0 polls until the daemon goes away." in
+  Arg.(value & opt int 0 & info [ "n"; "iterations" ] ~docv:"K" ~doc)
+
+let top_render samples =
+  let open Core.Export in
+  let c name = match find samples (sanitize_name name) with Some v -> v | None -> 0.0 in
+  Printf.printf "uptime %.0fs  queue %d  inflight %d\n" (c "serve.uptime_s")
+    (int_of_float (c "serve.queue_depth"))
+    (int_of_float (c "serve.jobs_inflight"));
+  Printf.printf
+    "jobs: %d submitted, %d completed, %d failed, %d cancelled, %d rejected, %d retries\n"
+    (int_of_float (c "serve.jobs_submitted"))
+    (int_of_float (c "serve.jobs_completed"))
+    (int_of_float (c "serve.jobs_failed"))
+    (int_of_float (c "serve.jobs_cancelled"))
+    (int_of_float (c "serve.jobs_rejected"))
+    (int_of_float (c "serve.retries"));
+  let quant name q =
+    let buckets = buckets_of samples (sanitize_name name) in
+    quantile ~buckets ~q
+  in
+  Printf.printf "%-16s %10s %10s %8s\n" "stage latency" "p50 ms" "p95 ms" "n";
+  List.iter
+    (fun stage ->
+      let sname = Core.Guard.stage_name stage in
+      let metric = "serve.stage_ms." ^ sname in
+      match find samples (sanitize_name metric ^ "_count") with
+      | Some n when n > 0.0 ->
+        let p v = match v with Some x -> Printf.sprintf "%10.1f" x | None -> "         -" in
+        Printf.printf "%-16s %s %s %8d\n" sname
+          (p (quant metric 0.50)) (p (quant metric 0.95)) (int_of_float n)
+      | _ -> ())
+    Core.Guard.all_stages;
+  (match quant "serve.job_ms" 0.50 with
+   | Some p50 ->
+     let p95 = Option.value ~default:p50 (quant "serve.job_ms" 0.95) in
+     Printf.printf "job latency: p50 <= %.0f ms, p95 <= %.0f ms\n" p50 p95
+   | None -> ());
+  flush stdout
+
+let top socket_path interval_ms iterations =
+  match Core.Serve_client.connect ~socket_path with
+  | exception Unix.Unix_error (err, _, _) ->
+    Format.eprintf "tpi_flow top: cannot reach %s: %s@." socket_path
+      (Unix.error_message err);
+    2
+  | c ->
+    Fun.protect ~finally:(fun () -> Core.Serve_client.close c)
+      (fun () ->
+        let rec poll k =
+          match Core.Serve_client.prometheus c with
+          | None ->
+            Format.eprintf "tpi_flow top: daemon went away@.";
+            if k = 0 then 1 else 0
+          | Some text ->
+            if k > 0 then print_newline ();
+            top_render (Core.Export.parse text);
+            if iterations > 0 && k + 1 >= iterations then 0
+            else begin
+              Thread.delay (float_of_int (max 1 interval_ms) /. 1000.0);
+              poll (k + 1)
+            end
+        in
+        poll 0)
+
+let top_cmd =
+  let doc =
+    "Poll a running daemon's live Prometheus exposition and render queue depth, \
+     in-flight jobs, retry counts and per-stage latency quantiles."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const top $ socket_arg $ interval_arg $ iterations_arg)
+
 let serve_cmd =
   let doc =
     "Run the flow as a long-lived daemon on a Unix socket: JSONL jobs in, streamed \
@@ -373,8 +514,8 @@ let serve_cmd =
      Served results are byte-identical to the one-shot CLI."
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const serve $ metrics_arg $ verbose_arg $ jobs_arg $ cache_arg $ socket_arg
-          $ queue_arg)
+    Term.(const serve $ telemetry_term $ metrics_arg $ prom_arg $ verbose_arg
+          $ jobs_arg $ cache_arg $ socket_arg $ queue_arg)
 
 let client_cmd =
   let doc =
@@ -384,12 +525,12 @@ let client_cmd =
   Cmd.v (Cmd.info "client" ~doc)
     Term.(const client $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ tables_arg
           $ policy_arg $ socket_arg $ client_id_arg $ priority_arg $ deadline_arg
-          $ ping_arg $ stats_arg)
+          $ ping_arg $ stats_arg $ client_prom_arg)
 
 let cmd =
   let doc = "Reproduce 'Impact of Test Point Insertion on Silicon Area and Timing during Layout' (DATE 2004)" in
   Cmd.group ~default:run_term (Cmd.info "tpi_flow" ~doc)
-    [ selftest_cmd; profile_cmd; serve_cmd; client_cmd ]
+    [ selftest_cmd; profile_cmd; serve_cmd; client_cmd; top_cmd ]
 
 let () =
   (* a client vanishing mid-write must surface as a typed error, never as

@@ -61,6 +61,10 @@ module Retry = Serve.Retry
 module Trace = Obs.Trace
 module Metrics = Obs.Metrics
 module Json = Obs.Json
+module Export = Obs.Export
+module Log = Obs.Log
+module Recorder = Obs.Recorder
+module Perfgate = Obs.Perfgate
 
 (** Run the complete Figure-2 flow on a named benchmark circuit at the
     given test point percentage; the fastest way to see everything work. *)

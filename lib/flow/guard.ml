@@ -253,11 +253,20 @@ let attempt ~circuit ~options ~tamper ~cancel ~on_stage ~k mk_design =
                 P.cached_stage ctx (stage_name stage) (stage_body stage) st;
                 (match tamper with Some f -> f ~attempt:k stage st | None -> ());
                 post_check ~circuit stage st;
-                record stage (Completed (Obs.Trace.stop span))
+                let ms = Obs.Trace.stop span in
+                Obs.Recorder.span
+                  ~label:("stage." ^ stage_name stage)
+                  ~detail:(Printf.sprintf "%s: completed in %.1f ms" circuit ms)
+                  ();
+                record stage (Completed ms)
               with
               | Stage_failure e ->
                 error := Some e;
                 Obs.Metrics.incr m_stage_failures;
+                Obs.Recorder.fault
+                  ~label:("stage." ^ stage_name stage)
+                  ~detail:(Printf.sprintf "%s: %s" circuit e.detail)
+                  ();
                 record stage (Failed (Obs.Trace.stop ~error:e.detail span))
               | e ->
                 let detail = describe_exn e in
@@ -265,6 +274,10 @@ let attempt ~circuit ~options ~tamper ~cancel ~on_stage ~k mk_design =
                 Obs.Metrics.incr
                   (if String.starts_with ~prefix:"cancelled:" detail then m_cancelled
                    else m_stage_failures);
+                Obs.Recorder.fault
+                  ~label:("stage." ^ stage_name stage)
+                  ~detail:(Printf.sprintf "%s: %s" circuit detail)
+                  ();
                 record stage (Failed (Obs.Trace.stop ~error:detail span)))))
       all_stages;
     (List.rev !log, Some st, !error)
@@ -308,9 +321,17 @@ let run ?(policy = Fail_fast) ?(retries = default_retries) ?(options = P.default
         Obs.Metrics.incr m_retries;
         go (k + 1) { options with P.seed = reseed options.P.seed (k + 1) }
       end
-      else
+      else begin
+        (* terminal failure: publish the flight recorder's view of the
+           last moments (no-op unless a dump path is configured) *)
+        ignore
+          (Obs.Recorder.dump
+             ~reason:
+               (Printf.sprintf "stage-fault: %s/%s: %s" circuit (stage_name e.stage)
+                  (error_class e)));
         { circuit; policy; attempts = k + 1; stage_log = log; error = Some e;
           state = (if policy = Fail_fast then None else state); result = None }
+      end
   in
   go 0 options
 

@@ -1,0 +1,86 @@
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type sink = Disabled | Stderr | Channel of out_channel
+
+(* One mutex guards threshold, sink and the write itself: log records
+   from the daemon's reader/executor/acceptor systhreads interleave at
+   line granularity, never mid-record. *)
+let m = Mutex.create ()
+let threshold = ref Info
+let sink = ref Disabled
+let emitted = ref 0
+
+let locked f = Mutex.lock m; Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let set_level l = locked (fun () -> threshold := l)
+let level () = locked (fun () -> !threshold)
+
+let close_sink () =
+  (match !sink with Channel oc -> close_out_noerr oc | Stderr | Disabled -> ());
+  sink := Disabled
+
+let to_file path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  locked (fun () ->
+      close_sink ();
+      sink := Channel oc)
+
+let to_stderr () = locked (fun () -> close_sink (); sink := Stderr)
+let disable () = locked (fun () -> close_sink ())
+let emitted_count () = locked (fun () -> !emitted)
+
+let enabled l = level_rank l >= level_rank (locked (fun () -> !threshold))
+
+let record_json ~l ?job ?(fields = []) msg =
+  let span = Trace.current_id () in
+  Json.Obj
+    ([ ("ts_us", Json.Float (Clock.now_us ()));
+       ("level", Json.String (level_name l));
+       ("domain", Json.Int (Domain.self () :> int));
+       ("msg", Json.String msg) ]
+     @ (match job with Some j -> [ ("job", Json.String j) ] | None -> [])
+     @ (if span >= 0 then [ ("span", Json.Int span) ] else [])
+     @ fields)
+
+let logf l ?job ?fields fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if level_rank l >= level_rank (locked (fun () -> !threshold)) then begin
+        (* the flight recorder sees every record that passes the filter,
+           sink or no sink — that is what makes post-mortems useful when
+           nobody enabled logging *)
+        Recorder.log ?job ~label:(level_name l) ~detail:msg ();
+        locked (fun () ->
+            match !sink with
+            | Disabled -> ()
+            | (Stderr | Channel _) as s ->
+              let line = Json.to_string (record_json ~l ?job ?fields msg) in
+              incr emitted;
+              (match s with
+               | Stderr ->
+                 output_string stderr line;
+                 output_char stderr '\n';
+                 flush stderr
+               | Channel oc ->
+                 output_string oc line;
+                 output_char oc '\n';
+                 flush oc
+               | Disabled -> ()))
+      end)
+    fmt
+
+let debug ?job ?fields fmt = logf Debug ?job ?fields fmt
+let info ?job ?fields fmt = logf Info ?job ?fields fmt
+let warn ?job ?fields fmt = logf Warn ?job ?fields fmt
+let error ?job ?fields fmt = logf Error ?job ?fields fmt

@@ -1,0 +1,50 @@
+(** Structured leveled logging: one JSON object per line, with
+    timestamp, level, domain id and optional job/span correlation
+    fields — the daemon's replacement for ad-hoc stderr prints.
+
+    Off by default ({!disable}d sink, [Info] threshold): a library user
+    who never touches this module pays one mutexed threshold check per
+    suppressed call. Records that pass the threshold are {e always} fed
+    to the {!Recorder} flight recorder, sink or no sink, so post-mortem
+    dumps carry recent log context even when no [--log-file] was given.
+
+    Thread-safety: a single mutex serializes threshold, sink switches
+    and record writes, so records from different systhreads interleave
+    at line granularity. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+val level_of_string : string -> level option
+(** Case-insensitive; accepts ["warning"] for [Warn]. *)
+
+val set_level : level -> unit
+(** Minimum level that is recorded (default [Info]). *)
+
+val level : unit -> level
+val enabled : level -> bool
+
+(** {2 Sinks} *)
+
+val to_file : string -> unit
+(** Append JSONL records to [path] (created [0o644] if missing); any
+    previous file sink is closed. *)
+
+val to_stderr : unit -> unit
+val disable : unit -> unit
+(** Close and drop the sink (the default state). Recording into the
+    flight recorder continues regardless. *)
+
+val emitted_count : unit -> int
+(** Records written to a sink since start. *)
+
+(** {2 Emission}
+
+    [fields] appends extra key/value pairs to the record. The [span]
+    correlation field is filled automatically from
+    {!Trace.current_id} when a span is open on the calling context. *)
+
+val debug : ?job:string -> ?fields:(string * Json.t) list -> ('a, unit, string, unit) format4 -> 'a
+val info : ?job:string -> ?fields:(string * Json.t) list -> ('a, unit, string, unit) format4 -> 'a
+val warn : ?job:string -> ?fields:(string * Json.t) list -> ('a, unit, string, unit) format4 -> 'a
+val error : ?job:string -> ?fields:(string * Json.t) list -> ('a, unit, string, unit) format4 -> 'a

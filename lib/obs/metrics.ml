@@ -100,6 +100,14 @@ let set g v =
 
 let gauge_value g = (resolve_gauge g).g_value
 
+(* Direct write to the handle's own cell, skipping scoped-capture
+   resolution. Systhreads share their domain's DLS, so a daemon service
+   thread updating service gauges (uptime, inflight) while the executor
+   thread has a scoped capture open would otherwise leak those updates
+   into the job's cached metrics delta — and a replayed delta must
+   reproduce only what the job itself did. *)
+let set_direct g v = g.g_value <- v
+
 let bucket_of v =
   if Float.is_nan v || v <= 1.0 then 0
   else if v >= 0x1p62 (* covers infinity: int_of_float inf is unspecified *) then 63
@@ -222,6 +230,28 @@ let hist_json h =
           [ ("min", Json.Float h.h_min); ("max", Json.Float h.h_max) ]
         else [])
      @ [ ("buckets", Json.List !buckets) ])
+
+(* Sorted views of the global registry for the Prometheus exposition
+   (Obs.Export). Reading [global] directly — rather than [registry ()] —
+   keeps live exposition from a daemon service thread consistent even
+   while the executor thread has a scoped capture open. *)
+
+type hist_view = {
+  hv_count : int;
+  hv_sum : float;
+  hv_buckets : (int * int) list;  (* occupied (bucket index, occupancy), ascending *)
+}
+
+let export_counters () = sorted_fold global.r_counters (fun c -> c.c_value)
+let export_gauges () = sorted_fold global.r_gauges (fun g -> g.g_value)
+
+let export_histograms () =
+  sorted_fold global.r_histograms (fun h ->
+      let buckets = ref [] in
+      for k = 63 downto 0 do
+        if h.h_buckets.(k) > 0 then buckets := (k, h.h_buckets.(k)) :: !buckets
+      done;
+      { hv_count = h.h_count; hv_sum = h.h_sum; hv_buckets = !buckets })
 
 let snapshot () =
   Json.Obj

@@ -33,6 +33,13 @@ val gauge : string -> gauge
 val set : gauge -> float -> unit
 val gauge_value : gauge -> float
 
+val set_direct : gauge -> float -> unit
+(** Write the handle's own cell, bypassing scoped-capture resolution.
+    For service telemetry (uptime, in-flight jobs) updated from daemon
+    systhreads that share the executor's domain: a plain {!set} during
+    an open {!with_scoped} region would leak the update into the
+    region's delta and poison cache replay. *)
+
 val histogram : string -> histogram
 val observe : histogram -> float -> unit
 
@@ -87,6 +94,24 @@ val with_scoped : (unit -> 'a) -> 'a * local
     parallel region joined inside the scope lands its workers' metrics
     in the scope. If [f] raises, the partial delta is merged and the
     exception re-raised. *)
+
+(** {2 Sorted global views}
+
+    Read the {e global} registry directly (never a scoped capture), in
+    ascending name order — the input of {!Export.prometheus}. Safe to
+    call from any systhread of the main domain. *)
+
+type hist_view = {
+  hv_count : int;
+  hv_sum : float;
+  hv_buckets : (int * int) list;
+      (** occupied log-2 buckets as [(index, occupancy)], ascending;
+          see {!bucket_upper} for the bound of an index *)
+}
+
+val export_counters : unit -> (string * int) list
+val export_gauges : unit -> (string * float) list
+val export_histograms : unit -> (string * hist_view) list
 
 val snapshot : unit -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...}}], names

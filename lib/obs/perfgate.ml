@@ -1,0 +1,132 @@
+(* Perf-regression gate: compare a freshly measured BENCH_perf.json
+   against a checked-in baseline and name every metric that moved past
+   tolerance in the bad direction. Pure — bench/main.ml measures and
+   this module judges, which is what makes the pass/fail boundary unit
+   testable without running a benchmark. *)
+
+type direction = Lower_better | Higher_better
+
+type violation = {
+  v_metric : string;
+  v_baseline : float;
+  v_current : float;
+  v_limit : float;     (* the bound current had to stay within *)
+  v_ratio : float;     (* current / baseline *)
+}
+
+type verdict = {
+  checked : int;    (* metrics present in both documents *)
+  skipped : string list;  (* baseline metrics absent from current *)
+  violations : violation list;
+}
+
+let limit ~tolerance_pct ~dir base =
+  match dir with
+  | Lower_better -> base *. (1.0 +. (tolerance_pct /. 100.0))
+  | Higher_better -> base /. (1.0 +. (tolerance_pct /. 100.0))
+
+let violates ~dir ~lim current =
+  match dir with Lower_better -> current > lim | Higher_better -> current < lim
+
+let num = function
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | Some (Json.Float f) -> Some f
+  | _ -> None
+
+let str = function Some (Json.String s) -> Some s | _ -> None
+
+(* (metric path, direction, value) triples a perf document exposes to
+   the gate. Name-keyed so baseline and current line up regardless of
+   section order or extra kernels on either side. *)
+let gated_metrics doc =
+  let out = ref [] in
+  let push name dir v = out := (name, dir, v) :: !out in
+  let each_item section f =
+    match Json.member section doc with
+    | Some (Json.List items) -> List.iter f items
+    | _ -> ()
+  in
+  each_item "kernels" (fun item ->
+      match (str (Json.member "name" item), num (Json.member "ns_per_run" item)) with
+      | Some name, Some v -> push (name ^ "/ns_per_run") Lower_better v
+      | _ -> ());
+  (match Json.member "parallel" doc with
+   | Some par ->
+     (match Json.member "kernels" par with
+      | Some (Json.List items) ->
+        List.iter
+          (fun item ->
+            match (str (Json.member "name" item), num (Json.member "speedup" item)) with
+            | Some name, Some v -> push ("parallel/" ^ name ^ "/speedup") Higher_better v
+            | _ -> ())
+          items
+      | _ -> ())
+   | None -> ());
+  (match Json.member "cache" doc with
+   | Some cache ->
+     (match Json.member "kernels" cache with
+      | Some (Json.List items) ->
+        List.iter
+          (fun item ->
+            match (str (Json.member "name" item), num (Json.member "speedup" item)) with
+            | Some name, Some v -> push ("cache/" ^ name ^ "/speedup") Higher_better v
+            | _ -> ())
+          items
+      | _ -> ())
+   | None -> ());
+  (match Json.member "serve" doc with
+   | Some serve ->
+     (match num (Json.member "throughput_jobs_per_s" serve) with
+      | Some v -> push "serve/throughput_jobs_per_s" Higher_better v
+      | None -> ());
+     (match num (Json.member "p95_ms" serve) with
+      | Some v -> push "serve/p95_ms" Lower_better v
+      | None -> ())
+   | None -> ());
+  List.rev !out
+
+let compare_docs ~baseline ~current ~tolerance_pct =
+  let cur = gated_metrics current in
+  let lookup name = List.find_opt (fun (n, _, _) -> n = name) cur in
+  let checked = ref 0 in
+  let skipped = ref [] in
+  let violations = ref [] in
+  List.iter
+    (fun (name, dir, base) ->
+      match lookup name with
+      | None -> skipped := name :: !skipped
+      | Some (_, _, v) ->
+        incr checked;
+        let lim = limit ~tolerance_pct ~dir base in
+        if violates ~dir ~lim v then
+          violations :=
+            { v_metric = name; v_baseline = base; v_current = v; v_limit = lim;
+              v_ratio = (if base <> 0.0 then v /. base else Float.infinity) }
+            :: !violations)
+    (gated_metrics baseline);
+  { checked = !checked; skipped = List.rev !skipped; violations = List.rev !violations }
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "@[<v>perf gate: %d metric(s) checked, %d violation(s)" v.checked
+    (List.length v.violations);
+  List.iter
+    (fun s -> Format.fprintf ppf "@ skipped (absent from current): %s" s)
+    v.skipped;
+  List.iter
+    (fun viol ->
+      Format.fprintf ppf "@ FAIL %-44s baseline %.4g -> current %.4g (%.2fx, limit %.4g)"
+        viol.v_metric viol.v_baseline viol.v_current viol.v_ratio viol.v_limit)
+    v.violations;
+  Format.fprintf ppf "@]"
+
+let check ~baseline_path ~current_path ~tolerance_pct =
+  let read path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Json.parse s with
+    | Ok doc -> doc
+    | Error msg -> failwith (Printf.sprintf "%s: invalid JSON: %s" path msg)
+  in
+  compare_docs ~baseline:(read baseline_path) ~current:(read current_path) ~tolerance_pct

@@ -1,0 +1,49 @@
+(** Perf-regression gate over [BENCH_perf.json] documents.
+
+    Compares a freshly measured perf document against a checked-in
+    baseline and reports every gated metric that moved past tolerance
+    in its bad direction: kernel [ns_per_run] must not rise, parallel
+    and cache [speedup] must not fall, serve throughput must not fall,
+    serve [p95_ms] must not rise. Metrics are matched by name, so
+    kernels added or removed on either side are skipped (and listed),
+    never spuriously failed.
+
+    The comparison is pure — [bench --perf --check] measures and this
+    module judges — which makes the pass/fail boundary unit testable
+    without running a benchmark. *)
+
+type direction = Lower_better | Higher_better
+
+type violation = {
+  v_metric : string;    (** e.g. ["kernel/table1/atpg/ns_per_run"] *)
+  v_baseline : float;
+  v_current : float;
+  v_limit : float;      (** the bound current had to stay within *)
+  v_ratio : float;      (** current / baseline *)
+}
+
+type verdict = {
+  checked : int;            (** metrics present in both documents *)
+  skipped : string list;    (** baseline metrics absent from current *)
+  violations : violation list;
+}
+
+val limit : tolerance_pct:float -> dir:direction -> float -> float
+(** Tolerance bound for one baseline value: [base * (1 + t/100)] when
+    lower is better, [base / (1 + t/100)] when higher is better. *)
+
+val violates : dir:direction -> lim:float -> float -> bool
+(** Strict comparison against the bound — a value exactly on the limit
+    passes. *)
+
+val gated_metrics : Json.t -> (string * direction * float) list
+(** The metrics a perf document exposes to the gate, in document
+    order. *)
+
+val compare_docs : baseline:Json.t -> current:Json.t -> tolerance_pct:float -> verdict
+
+val check : baseline_path:string -> current_path:string -> tolerance_pct:float -> verdict
+(** Read both files and compare. Raises [Failure] on unreadable or
+    invalid JSON. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

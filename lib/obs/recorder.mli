@@ -1,0 +1,63 @@
+(** Always-on crash flight recorder.
+
+    A fixed-capacity ring buffer of the most recent noteworthy events —
+    log records, stage completions, faults — recorded unconditionally
+    (a few stores under a mutex, constant memory forever). When
+    something dies, {!dump} writes the last N events as a post-mortem
+    JSON snapshot, so every fault explains itself even when nobody
+    enabled logging or tracing beforehand.
+
+    Dump triggers wired through the system: a guarded stage faulting
+    ({!Flow.Guard}), a served job exhausting its retries, and the
+    daemon's signal-initiated drain. Dumping is a no-op until
+    {!set_dump_path} names a destination (the [--flight FILE] flag). *)
+
+type kind = Log | Span | Fault
+
+type event = {
+  ts_us : float;
+  kind : kind;
+  label : string;   (** what: stage or logger name, e.g. ["stage.place"] *)
+  detail : string;  (** free-form message or error rendering *)
+  job : string option;  (** served job id, when in a job context *)
+  domain : int;     (** recording domain; 0 = main *)
+}
+
+val default_capacity : int
+
+val set_capacity : int -> unit
+(** Resize the ring (clamped to [>= 1]); existing events are dropped. *)
+
+val capacity : unit -> int
+
+val clear : unit -> unit
+(** Drop all events and reset the lifetime counters. *)
+
+val record : ?job:string -> kind:kind -> label:string -> detail:string -> unit -> unit
+
+val log : ?job:string -> label:string -> detail:string -> unit -> unit
+val span : ?job:string -> label:string -> detail:string -> unit -> unit
+val fault : ?job:string -> label:string -> detail:string -> unit -> unit
+
+val events : unit -> event list
+(** Current ring contents, oldest first (at most {!capacity} events). *)
+
+val total : unit -> int
+(** Events ever recorded — exceeds [List.length (events ())] once the
+    ring has wrapped. *)
+
+val snapshot_json : reason:string -> Json.t
+(** The post-mortem document: reason, capture timestamp, lifetime event
+    count and the ring contents oldest-first. *)
+
+val set_dump_path : string option -> unit
+(** Destination for {!dump}; [None] (the default) disables dumping. *)
+
+val dump : reason:string -> bool
+(** Atomically write {!snapshot_json} to the configured path. Returns
+    whether a dump was written ([false] when no path is set or the
+    write failed — a flight recorder must never take the process down
+    with it). *)
+
+val dumps : unit -> int
+(** Dumps successfully written since start (or {!clear}). *)

@@ -125,6 +125,17 @@ let with_span ?attrs ~name f =
       raise e
   end
 
+(* Innermost open span on the calling context, -1 when none is open (or
+   tracing is off). Worker ids are flush-window-local, which is fine for
+   the log correlation this feeds (Obs.Log): correlation only has to be
+   unique within one record stream. *)
+let current_id () =
+  if not (Atomic.get on) then -1
+  else if on_main () then match !stack with [] -> -1 | (id, _) :: _ -> id
+  else
+    let w = Domain.DLS.get wkey in
+    match w.w_stack with [] -> -1 | (id, _) :: _ -> id
+
 (* ---- per-domain collection (the Par.Pool join protocol) ---- *)
 
 type local = {
@@ -264,6 +275,72 @@ let aggregate () =
     sps;
   let all = Hashtbl.fold (fun _ a acc -> a :: acc) by_name [] in
   List.sort (fun a b -> compare b.a_self_us a.a_self_us) all
+
+type domain_agg = {
+  d_domain : int;
+  d_spans : int;
+  d_total_us : float;
+  d_self_us : float;
+  d_alloc_words : float;
+  d_errors : int;
+}
+
+(* Self time per Par.Pool slot: the -j N diagnosis view. A worker whose
+   self time is a small fraction of the wall clock spent in the parallel
+   region is starved (fan-out too coarse) or serialized (lock/join
+   overhead) — which is exactly what BENCH_perf.json's sub-1.0 parallel
+   speedups on this host cannot distinguish on their own. *)
+let aggregate_domains () =
+  let sps = spans () in
+  let child_us = Hashtbl.create 64 in
+  List.iter
+    (fun sp ->
+      if sp.parent >= 0 then
+        Hashtbl.replace child_us sp.parent
+          (sp.dur_us
+           +. (match Hashtbl.find_opt child_us sp.parent with Some v -> v | None -> 0.0)))
+    sps;
+  let by_domain : (int, domain_agg) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun sp ->
+      let children =
+        match Hashtbl.find_opt child_us sp.id with Some v -> v | None -> 0.0
+      in
+      let self = Float.max 0.0 (sp.dur_us -. children) in
+      let prev =
+        match Hashtbl.find_opt by_domain sp.domain with
+        | Some a -> a
+        | None ->
+          { d_domain = sp.domain; d_spans = 0; d_total_us = 0.0; d_self_us = 0.0;
+            d_alloc_words = 0.0; d_errors = 0 }
+      in
+      Hashtbl.replace by_domain sp.domain
+        { prev with
+          d_spans = prev.d_spans + 1;
+          d_total_us = prev.d_total_us +. sp.dur_us;
+          d_self_us = prev.d_self_us +. self;
+          d_alloc_words = prev.d_alloc_words +. sp.alloc_words;
+          d_errors = prev.d_errors + (if sp.error = None then 0 else 1) })
+    sps;
+  let all = Hashtbl.fold (fun _ a acc -> a :: acc) by_domain [] in
+  List.sort (fun a b -> compare a.d_domain b.d_domain) all
+
+let pp_domains ppf () =
+  let aggs = aggregate_domains () in
+  let grand_self = List.fold_left (fun acc a -> acc +. a.d_self_us) 0.0 aggs in
+  Format.fprintf ppf "@[<v>%-8s %6s %12s %12s %6s %12s@ " "domain" "spans"
+    "total ms" "self ms" "self%" "alloc kw";
+  Format.fprintf ppf "%s@ " (String.make 62 '-');
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "%-8s %6d %12.2f %12.2f %5.1f%% %12.1f%s@ "
+        (if a.d_domain = 0 then "main" else Printf.sprintf "w%d" a.d_domain)
+        a.d_spans (a.d_total_us /. 1000.0) (a.d_self_us /. 1000.0)
+        (if grand_self > 0.0 then 100.0 *. a.d_self_us /. grand_self else 0.0)
+        (a.d_alloc_words /. 1000.0)
+        (if a.d_errors > 0 then Printf.sprintf "  (%d error)" a.d_errors else ""))
+    aggs;
+  Format.fprintf ppf "@]"
 
 let pp_profile ppf () =
   let aggs = aggregate () in

@@ -57,6 +57,12 @@ val with_span : ?attrs:(string * Json.t) list -> name:string -> (unit -> 'a) -> 
     [error] set and is re-raised. When tracing is disabled this is just
     a flag check. *)
 
+val current_id : unit -> int
+(** Id of the innermost open span on the calling context, [-1] when no
+    span is open or tracing is disabled. Worker-domain ids are local to
+    the current flush window — unique within one record stream, which is
+    all the {!Log} correlation field needs. *)
+
 (** {2 Per-domain collection}
 
     Spans recorded on a worker domain go to a domain-local buffer with
@@ -110,3 +116,19 @@ val aggregate : unit -> agg list
     (descending) — the [tpi_flow profile] table. *)
 
 val pp_profile : Format.formatter -> unit -> unit
+
+type domain_agg = {
+  d_domain : int;        (** [Par.Pool] slot, 0 = main domain *)
+  d_spans : int;
+  d_total_us : float;    (** inclusive *)
+  d_self_us : float;     (** total minus time in child spans *)
+  d_alloc_words : float;
+  d_errors : int;
+}
+
+val aggregate_domains : unit -> domain_agg list
+(** Self-time rollup per recording domain, ascending slot order — shows
+    whether a [-j N] run actually spread work across workers or starved
+    them (the diagnosis view for a parallel slowdown). *)
+
+val pp_domains : Format.formatter -> unit -> unit

@@ -52,6 +52,18 @@ let stats t =
   in
   wait ()
 
+let prometheus t =
+  match request t (J.Obj [ ("op", J.String "metrics") ]) with
+  | exception (Sys_error _ | Unix.Unix_error _) -> None
+  | () ->
+    let rec wait () =
+      match next_event t with
+      | None -> None
+      | Some j when Protocol.event_of j = "prometheus" -> Protocol.str_field "text" j
+      | Some _ -> wait ()
+    in
+    wait ()
+
 let submit_line ~id ?priority ?deadline_ms ?circuit ?scale ?levels ?atpg ?tables ?policy
     ?fail_attempts ?sleep_ms () =
   let opt f name v = Option.map (fun v -> (name, f v)) v in

@@ -28,6 +28,11 @@ val ping : t -> bool
 val stats : t -> Obs.Json.t option
 (** The [stats] event, as parsed JSON. *)
 
+val prometheus : t -> string option
+(** Live Prometheus text exposition ([{"op":"metrics"}]); [None] if the
+    daemon vanished mid-request. Answered by a daemon reader thread, so
+    it works while a job is running on the executor. *)
+
 val submit_line :
   id:string ->
   ?priority:int ->

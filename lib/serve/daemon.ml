@@ -10,12 +10,13 @@ type config = {
   jobs : int;
   queue_capacity : int;
   metrics_file : string option;
+  prom_file : string option;
   verbose : bool;
 }
 
 let default_config ~socket_path =
   { socket_path; cache_dir = None; jobs = 1; queue_capacity = 64;
-    metrics_file = None; verbose = false }
+    metrics_file = None; prom_file = None; verbose = false }
 
 (* ---- service metrics ---- *)
 
@@ -30,6 +31,22 @@ let m_disconnects = Obs.Metrics.counter "serve.disconnects"
 let m_slots_reclaimed = Obs.Metrics.counter "serve.slots_reclaimed"
 let g_queue_depth = Obs.Metrics.gauge "serve.queue_depth"
 let h_job_ms = Obs.Metrics.histogram "serve.job_ms"
+
+(* service gauges written via [set_direct] (see Obs.Metrics): readers,
+   the acceptor and the executor are systhreads of one domain, so a
+   scoped write from a service thread would land in the executor's open
+   capture and poison cache replay *)
+let g_uptime = Obs.Metrics.gauge "serve.uptime_s"
+let g_inflight = Obs.Metrics.gauge "serve.jobs_inflight"
+
+(* per-stage latency histograms, interned at module load so the hot
+   [on_stage] path and the live exposition never race a Hashtbl resize *)
+let stage_hists =
+  List.map
+    (fun s ->
+      let name = Guard.stage_name s in
+      (name, Obs.Metrics.histogram ("serve.stage_ms." ^ name)))
+    Guard.all_stages
 
 let stat_counters =
   [ ("serve.jobs_submitted", m_submitted); ("serve.jobs_completed", m_completed);
@@ -63,6 +80,8 @@ type t = {
   listen_fd : Unix.file_descr;
   queue : job Jobq.t;
   drain_req : bool Atomic.t;
+  signalled : bool Atomic.t;   (* drain came from SIGTERM/SIGINT *)
+  started_us : float;
   pool : Par.Pool.t option;
   cache : Cache.Store.t option;
   mutex : Mutex.t;             (* guards conns/readers/c_jobs *)
@@ -71,6 +90,19 @@ type t = {
   mutable acceptor : Thread.t option;
   mutable executor : Thread.t option;
 }
+
+(* refresh the self-describing gauges, then (optionally) republish the
+   snapshot files atomically — called about once a second from the
+   accept loop and once more at drain, so a crash or SIGKILL loses at
+   most the last interval instead of the whole run *)
+let flush_telemetry t =
+  Obs.Metrics.set_direct g_uptime ((Obs.Clock.now_us () -. t.started_us) /. 1e6);
+  (match t.cfg.metrics_file with
+   | Some path -> (try Obs.Export.write_metrics_json path with Sys_error _ -> ())
+   | None -> ());
+  match t.cfg.prom_file with
+  | Some path -> (try Obs.Export.write_prom path with Sys_error _ -> ())
+  | None -> ()
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -100,7 +132,10 @@ let send_raw conn json =
    drain teardown) notices first. *)
 let disconnect t conn ~count_disconnect =
   if Atomic.compare_and_set conn.c_alive true false then begin
-    if count_disconnect then Obs.Metrics.incr m_disconnects;
+    if count_disconnect then begin
+      Obs.Metrics.incr m_disconnects;
+      Obs.Log.info "conn %d disconnected" conn.c_id
+    end;
     let jobs = with_lock t (fun () -> conn.c_jobs) in
     List.iter (fun j -> Cancel.cancel j.j_cancel ~reason:"client-disconnect") jobs;
     let reclaimed = Jobq.scan_remove t.queue (fun j -> j.j_conn.c_id = conn.c_id) in
@@ -179,9 +214,12 @@ let handle_submit t conn ~id ~priority ~deadline_ms ~(spec : Protocol.job_spec) 
          with_lock t (fun () -> conn.c_jobs <- job :: conn.c_jobs);
          Obs.Metrics.incr m_submitted;
          Obs.Metrics.set g_queue_depth (float_of_int depth);
+         Obs.Log.info ~job:id "accepted %s (priority %d, depth %d)"
+           spec.Protocol.circuit priority depth;
          send t conn (Protocol.accepted ~id ~queue_depth:depth)
        | Error (Jobq.Full { depth; capacity }) ->
          Obs.Metrics.incr m_rejected;
+         Obs.Log.warn ~job:id "rejected: queue full (%d/%d)" depth capacity;
          send t conn
            (Protocol.rejected ~id:(Some id) ~cls:"backpressure"
               ~detail:
@@ -214,12 +252,18 @@ let handle_line t conn line =
   match Protocol.parse_request line with
   | Error detail ->
     Obs.Metrics.incr m_bad_requests;
+    Obs.Log.warn "bad request from conn %d: %s" conn.c_id detail;
     send t conn (Protocol.rejected ~id:None ~cls:"bad-request" ~detail)
   | Ok Protocol.Ping -> send t conn (Protocol.pong ())
   | Ok Protocol.Stats ->
     send t conn
       (Protocol.stats_event ~counters:(counter_values ())
          ~queue_depth:(Jobq.length t.queue) ~draining:(Atomic.get t.drain_req))
+  | Ok Protocol.Metrics_req ->
+    (* answered on the reader thread: live exposition works while the
+       executor is mid-job, and rendering only reads the global registry *)
+    Obs.Metrics.set_direct g_uptime ((Obs.Clock.now_us () -. t.started_us) /. 1e6);
+    send t conn (Protocol.prometheus_event ~text:(Obs.Export.prometheus ()))
   | Ok (Protocol.Cancel_job { id }) -> handle_cancel t conn ~id
   | Ok (Protocol.Submit { id; priority; deadline_ms; spec }) ->
     handle_submit t conn ~id ~priority ~deadline_ms ~spec
@@ -294,6 +338,12 @@ let run_levels t (job : job) spec ~tamper =
     | [] -> List.rev acc
     | tp_pct :: rest ->
       let on_stage stage status =
+        (match status with
+         | Guard.Completed ms | Guard.Failed ms ->
+           (match List.assoc_opt (Guard.stage_name stage) stage_hists with
+            | Some h -> Obs.Metrics.observe h ms
+            | None -> ())
+         | Guard.Skipped -> ());
         send t job.j_conn
           (Protocol.stage_event ~id:job.j_id ~level:tp_pct ~stage:(Guard.stage_name stage)
              ~status:(status_string status) ~ms:(status_ms status))
@@ -331,6 +381,7 @@ let first_error_matching grows pred =
 
 let finish_cancelled t job ~detail =
   Obs.Metrics.incr m_cancelled;
+  Obs.Log.info ~job:job.j_id "cancelled: %s" detail;
   send t job.j_conn (Protocol.error_event ~id:job.j_id ~cls:"cancelled" ~detail)
 
 let cancel_detail cancel =
@@ -356,6 +407,8 @@ let execute t (job : job) =
       in
       let before = counters_snapshot () in
       let rec attempt a =
+        Obs.Log.info ~job:job.j_id "started %s (attempt %d)"
+          job.j_spec.Protocol.circuit (a + 1);
         send t job.j_conn (Protocol.started ~id:job.j_id ~attempt:(a + 1));
         let tamper =
           if job.j_spec.Protocol.fail_attempts > a then Some inject_transient else None
@@ -377,6 +430,8 @@ let execute t (job : job) =
            | Some (e, policy) when a < policy.Retry.max_retries ->
              let backoff = Retry.backoff_ms policy ~attempt:(a + 1) in
              Obs.Metrics.incr m_retries;
+             Obs.Log.warn ~job:job.j_id "retrying after %s (attempt %d, backoff %.0f ms)"
+               (Guard.error_class e) (a + 1) backoff;
              send t job.j_conn
                (Protocol.retrying ~id:job.j_id ~attempt:(a + 1)
                   ~cls:(Guard.error_class e) ~backoff_ms:backoff);
@@ -392,6 +447,15 @@ let execute t (job : job) =
              (match fail_fast_error with
               | Some e ->
                 Obs.Metrics.incr m_failed;
+                Obs.Log.error ~job:job.j_id "failed at %s: %s"
+                  (Guard.stage_name e.Guard.stage) e.Guard.detail;
+                (* guard already dumped on the terminal stage fault; this
+                   one adds the job context (retries exhausted included) *)
+                ignore
+                  (Obs.Recorder.dump
+                     ~reason:
+                       (Printf.sprintf "job-failed: %s: %s" job.j_id
+                          (Guard.error_class e)));
                 send t job.j_conn
                   (Protocol.error_event ~id:job.j_id ~cls:(Guard.error_class e)
                      ~detail:e.Guard.detail)
@@ -401,6 +465,9 @@ let execute t (job : job) =
                 let elapsed = (Obs.Clock.now_us () -. t0) /. 1000.0 in
                 Obs.Metrics.observe h_job_ms elapsed;
                 Obs.Metrics.incr m_completed;
+                Obs.Log.info ~job:job.j_id "done in %.0f ms (%d attempt%s)" elapsed
+                  (a + 1)
+                  (if a = 0 then "" else "s");
                 send t job.j_conn
                   (Protocol.metrics_event ~id:job.j_id
                      ~counters:(counters_delta before (counters_snapshot ())));
@@ -417,13 +484,16 @@ let executor t =
     | None -> () (* closed and drained *)
     | Some job ->
       Obs.Metrics.set g_queue_depth (float_of_int (Jobq.length t.queue));
+      Obs.Metrics.set_direct g_inflight 1.0;
       (try execute t job
        with e ->
          (* the executor must survive anything a job throws at it *)
          Obs.Metrics.incr m_failed;
+         Obs.Log.error ~job:job.j_id "internal: %s" (Printexc.to_string e);
          send t job.j_conn
            (Protocol.error_event ~id:job.j_id ~cls:"internal"
               ~detail:("internal: " ^ Printexc.to_string e)));
+      Obs.Metrics.set_direct g_inflight 0.0;
       remove_job t job;
       loop ()
   in
@@ -434,8 +504,20 @@ let executor t =
 let conn_seq = Atomic.make 0
 
 let acceptor t =
+  (* telemetry heartbeat rides the 0.2 s accept timeout: about once a
+     second the snapshot files are re-published atomically, fixing the
+     old write-once-at-drain behaviour that lost everything on SIGKILL *)
+  let last_flush = ref (Obs.Clock.now_us ()) in
+  let maybe_flush () =
+    let now = Obs.Clock.now_us () in
+    if now -. !last_flush >= 1_000_000.0 then begin
+      last_flush := now;
+      flush_telemetry t
+    end
+  in
   let rec loop () =
     if not (Atomic.get t.drain_req) then begin
+      maybe_flush ();
       match Unix.select [ t.listen_fd ] [] [] 0.2 with
       | [], _, _ -> loop ()
       | _ ->
@@ -480,10 +562,14 @@ let start cfg =
     { cfg; listen_fd;
       queue = Jobq.create ~capacity:cfg.queue_capacity ();
       drain_req = Atomic.make false;
+      signalled = Atomic.make false;
+      started_us = Obs.Clock.now_us ();
       pool; cache;
       mutex = Mutex.create ();
       conns = []; readers = []; acceptor = None; executor = None }
   in
+  Obs.Log.info "serve: listening on %s (queue %d, -j %d)" cfg.socket_path
+    cfg.queue_capacity cfg.jobs;
   t.acceptor <- Some (Thread.create (fun () -> acceptor t) ());
   t.executor <- Some (Thread.create (fun () -> executor t) ());
   t
@@ -504,7 +590,14 @@ let wait t =
   List.iter (fun c -> disconnect t c ~count_disconnect:false) conns;
   List.iter Thread.join (with_lock t (fun () -> t.readers));
   Option.iter Par.Pool.shutdown t.pool;
-  Option.iter (fun path -> Obs.Metrics.write_json path) t.cfg.metrics_file;
+  flush_telemetry t;
+  (* a signal-initiated death leaves a post-mortem; a programmatic drain
+     is a clean exit and leaves the flight recorder alone *)
+  if Atomic.get t.signalled then
+    ignore (Obs.Recorder.dump ~reason:"signal-drain");
+  Obs.Log.info "serve: drained (%d completed, %d failed, %d cancelled)"
+    (Obs.Metrics.value m_completed) (Obs.Metrics.value m_failed)
+    (Obs.Metrics.value m_cancelled);
   if t.cfg.verbose then
     Printf.eprintf "tpi_flow serve: drained (%d jobs completed, %d failed, %d cancelled)\n%!"
       (Obs.Metrics.value m_completed) (Obs.Metrics.value m_failed)
@@ -513,7 +606,10 @@ let wait t =
 
 let run cfg =
   let t = start cfg in
-  let stop _ = drain t in
+  let stop _ =
+    Atomic.set t.signalled true;
+    drain t
+  in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
   Printf.printf "tpi_flow serve: listening on %s (queue %d, -j %d%s)\n%!" cfg.socket_path

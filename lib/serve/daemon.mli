@@ -34,7 +34,13 @@ type config = {
   cache_dir : string option;   (** shared stage cache ([--cache DIR]) *)
   jobs : int;                  (** pool domains for the kernels ([-j N]) *)
   queue_capacity : int;        (** bounded queue size (default 64) *)
-  metrics_file : string option;(** written once, at drain *)
+  metrics_file : string option;
+      (** JSON metrics snapshot, re-published atomically about once a
+          second from the accept loop (and finally at drain) — a crash
+          or SIGKILL loses at most the last interval *)
+  prom_file : string option;
+      (** Prometheus text exposition, same atomic once-a-second cadence
+          — point a node_exporter textfile collector (or a test) at it *)
   verbose : bool;
 }
 

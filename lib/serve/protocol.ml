@@ -27,6 +27,7 @@ let default_spec =
 type request =
   | Ping
   | Stats
+  | Metrics_req
   | Cancel_job of { id : string }
   | Submit of {
       id : string;
@@ -200,12 +201,13 @@ let parse_request line =
           (match str_field "op" j with
            | Some "ping" -> Ok Ping
            | Some "stats" -> Ok Stats
+           | Some "metrics" -> Ok Metrics_req
            | Some "cancel" ->
              (match str_field "id" j with
               | Some id when id <> "" -> Ok (Cancel_job { id })
               | _ -> Error "cancel needs a non-empty id")
            | Some "submit" -> parse_submit j
-           | Some op -> Error ("unknown op " ^ op ^ " (ping|stats|submit|cancel)")
+           | Some op -> Error ("unknown op " ^ op ^ " (ping|stats|metrics|submit|cancel)")
            | None -> Error "missing op field")
         | _ -> Error "request must be a JSON object"
       end
@@ -256,6 +258,8 @@ let stats_event ~counters ~queue_depth ~draining =
   ev "stats"
     [ ("queue_depth", J.Int queue_depth); ("draining", J.Bool draining);
       ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) counters)) ]
+
+let prometheus_event ~text = ev "prometheus" [ ("text", J.String text) ]
 
 let event_of j = match str_field "event" j with Some e -> e | None -> ""
 let id_of j = str_field "id" j

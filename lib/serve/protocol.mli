@@ -51,6 +51,10 @@ val default_spec : job_spec
 type request =
   | Ping
   | Stats
+  | Metrics_req
+      (** [{"op":"metrics"}]: live Prometheus text exposition of the
+          daemon's registry, answered from a service thread even while
+          a job is running *)
   | Cancel_job of { id : string }
   | Submit of {
       id : string;
@@ -87,6 +91,11 @@ val pong : unit -> Obs.Json.t
 
 val stats_event :
   counters:(string * int) list -> queue_depth:int -> draining:bool -> Obs.Json.t
+
+val prometheus_event : text:string -> Obs.Json.t
+(** The [metrics] op's answer: the full exposition document as one JSON
+    string field (newlines escaped by the JSON emitter, so the event
+    still fits the one-line-per-event framing). *)
 
 (** {2 Event accessors (client side)} *)
 

@@ -22,4 +22,5 @@ let () =
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
       ("cache", Test_cache.suite);
-      ("serve", Test_serve.suite) ]
+      ("serve", Test_serve.suite);
+      ("telemetry", Test_telemetry.suite) ]

@@ -521,7 +521,7 @@ let check_gate ~baseline ~tolerance_pct =
     Core.Perfgate.check ~baseline_path:baseline ~current_path:"BENCH_perf.json"
       ~tolerance_pct
   with
-  | exception (Failure msg | Sys_error msg) ->
+  | exception (Core.Perfgate.Invalid_baseline msg | Sys_error msg) ->
     Printf.eprintf "bench --check: %s\n" msg;
     exit 2
   | verdict ->

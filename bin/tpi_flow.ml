@@ -88,6 +88,14 @@ let cache_arg =
   in
   Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
 
+let lint_flag_arg =
+  let doc =
+    "Pre-flight every generated design through the lint engine before the first \
+     stage; error-severity findings abort the level with a typed lint-failed \
+     stage fault instead of letting the flow mis-build."
+  in
+  Arg.(value & flag & info [ "lint" ] ~doc)
+
 (* ---- telemetry plane flags (shared by run/selftest/profile/serve) ---- *)
 
 let log_file_arg =
@@ -145,13 +153,13 @@ let validated ?scale ~circuit ~levels () =
 (* guarded sweep: under fail-fast the sweep stops at the first failed
    level; under recover/degrade every level is attempted and failures
    become degraded rows *)
-let guarded_sweep ?pool ?cache spec ~policy ~retries ~atpg levels =
+let guarded_sweep ?pool ?cache ?lint spec ~policy ~retries ~atpg levels =
   let rec loop acc = function
     | [] -> List.rev acc
     | tp_pct :: rest ->
       let g =
-        Core.Experiment.run_one_guarded ?pool ?cache ~policy ~retries ~with_atpg:atpg
-          spec ~tp_pct
+        Core.Experiment.run_one_guarded ?pool ?cache ?lint ~policy ~retries
+          ~with_atpg:atpg spec ~tp_pct
       in
       let failed = g.Core.Experiment.g_report.Core.Guard.result = None in
       if failed && policy = Core.Guard.Fail_fast then List.rev (g :: acc)
@@ -160,7 +168,7 @@ let guarded_sweep ?pool ?cache spec ~policy ~retries ~atpg levels =
   loop [] levels
 
 let run () circuit scale levels atpg tables svg_dir def_file lib_file policy retries
-    trace_file metrics_file prom_file verbose jobs cache_dir =
+    trace_file metrics_file prom_file verbose jobs cache_dir lint =
   match validated ?scale ~circuit ~levels () with
   | Error msg ->
     Format.eprintf "tpi_flow: %s@." msg;
@@ -175,7 +183,7 @@ let run () circuit scale levels atpg tables svg_dir def_file lib_file policy ret
   let cache = store_of_dir cache_dir in
   let grows =
     with_jobs jobs (fun pool ->
-        guarded_sweep ?pool ?cache spec ~policy ~retries ~atpg levels)
+        guarded_sweep ?pool ?cache ~lint spec ~policy ~retries ~atpg levels)
   in
   let rows = Core.Experiment.completed_rows grows in
   if rows <> [] then begin
@@ -301,7 +309,8 @@ let profile () circuit scale levels atpg policy retries trace_file jobs =
 let run_term =
   Term.(const run $ telemetry_term $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg
         $ tables_arg $ svg_arg $ def_arg $ lib_arg $ policy_arg $ retries_arg
-        $ trace_arg $ metrics_arg $ prom_arg $ verbose_arg $ jobs_arg $ cache_arg)
+        $ trace_arg $ metrics_arg $ prom_arg $ verbose_arg $ jobs_arg $ cache_arg
+        $ lint_flag_arg)
 
 let selftest_cmd =
   let doc = "Run the guarded-flow fault-injection selftest (10 mutation classes)." in
@@ -318,6 +327,106 @@ let profile_cmd =
     Term.(const profile $ telemetry_term $ circuit_arg $ scale_arg $ levels_arg
           $ atpg_arg $ policy_arg $ retries_arg $ trace_arg $ jobs_arg)
 
+(* ---- standalone lint driver ---- *)
+
+let lint_target_arg =
+  let doc =
+    "What to lint: a gate-level Verilog netlist file, or a benchmark circuit \
+     name (s38417, pcore_a, pcore_b). Anything that exists on disk or ends in \
+     .v is treated as a file."
+  in
+  Arg.(value & pos 0 string "s38417" & info [] ~docv:"TARGET" ~doc)
+
+let waive_arg =
+  let doc =
+    "Apply this waiver file: diagnostics whose content-addressed fingerprint \
+     appears in it are suppressed (still visible in --json/--sarif output as \
+     suppressed results)."
+  in
+  Arg.(value & opt (some string) None & info [ "waive" ] ~docv:"FILE" ~doc)
+
+let lint_json_arg =
+  let doc = "Write the report in the machine JSON shape (DESIGN.md \xc2\xa76.5)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let sarif_arg =
+  let doc = "Write the report as SARIF 2.1.0 (code-scanning upload format)." in
+  Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"FILE" ~doc)
+
+let write_waivers_arg =
+  let doc =
+    "Baseline: write a waiver file covering every diagnostic of this run, so a \
+     follow-up run with --waive on the unchanged design exits clean."
+  in
+  Arg.(value & opt (some string) None & info [ "write-waivers" ] ~docv:"FILE" ~doc)
+
+let strict_arg =
+  let doc = "Fail (exit 1) on warnings too, not only on errors." in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let lint_design target scale =
+  if Sys.file_exists target || Filename.check_suffix target ".v" then
+    match Core.Verilog.parse_file target with
+    | d -> Ok d
+    | exception Core.Verilog.Parse_error (line, msg) ->
+      Error (Printf.sprintf "%s:%d: %s" target line msg)
+    | exception Sys_error msg -> Error msg
+  else
+    match validated ?scale ~circuit:target ~levels:[] () with
+    | Error msg -> Error msg
+    | Ok spec ->
+      Ok (Core.Bench.by_name spec.Core.Experiment.circuit ~scale:spec.Core.Experiment.scale)
+
+let lint () target scale waive_file json_file sarif_file write_waivers strict =
+  match lint_design target scale with
+  | Error msg ->
+    Format.eprintf "tpi_flow lint: %s@." msg;
+    2
+  | Ok d ->
+    let waivers =
+      match waive_file with
+      | None -> Ok Core.Lint_waiver.empty
+      | Some path -> Core.Lint_waiver.load path
+    in
+    match waivers with
+    | Error msg ->
+      Format.eprintf "tpi_flow lint: %s@." msg;
+      2
+    | Ok waivers ->
+      let report = Core.Lint_engine.run ~waivers d in
+      print_string (Core.Lint_emit.text d report);
+      (match json_file with
+       | Some path ->
+         Core.Json.write_file path (Core.Lint_emit.json d report);
+         Printf.printf "wrote %s\n" path
+       | None -> ());
+      (match sarif_file with
+       | Some path ->
+         Core.Json.write_file path (Core.Lint_emit.sarif d report);
+         Printf.printf "wrote %s\n" path
+       | None -> ());
+      (match write_waivers with
+       | Some path ->
+         Core.Lint_waiver.save path (Core.Lint_engine.baseline report);
+         Printf.printf "wrote %s (%d waiver(s))\n" path
+           (List.length (Core.Lint_engine.baseline report).Core.Lint_waiver.entries)
+       | None -> ());
+      if report.Core.Lint_engine.errors > 0
+         || (strict && report.Core.Lint_engine.warnings > 0)
+      then 1
+      else 0
+
+let lint_cmd =
+  let doc =
+    "Run the static-analysis rule packs (structural, clock/scan, TPI/timing) over \
+     a netlist or benchmark circuit and report typed diagnostics as text, JSON \
+     and SARIF. Exit 0 when clean or fully waived, 1 on findings, 2 on usage \
+     errors."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const lint $ telemetry_term $ lint_target_arg $ scale_arg $ waive_arg
+          $ lint_json_arg $ sarif_arg $ write_waivers_arg $ strict_arg)
+
 (* ---- flow as a service ---- *)
 
 let socket_arg =
@@ -331,7 +440,8 @@ let queue_arg =
   in
   Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
 
-let serve () metrics_file prom_file verbose jobs cache_dir socket_path queue_capacity =
+let serve () metrics_file prom_file verbose jobs cache_dir lint socket_path
+    queue_capacity =
   if queue_capacity < 1 then begin
     Format.eprintf "tpi_flow: queue capacity must be at least 1@.";
     2
@@ -340,7 +450,7 @@ let serve () metrics_file prom_file verbose jobs cache_dir socket_path queue_cap
     match
       Core.Serve_daemon.run
         { Core.Serve_daemon.socket_path; cache_dir; jobs;
-          queue_capacity; metrics_file; prom_file; verbose }
+          queue_capacity; metrics_file; prom_file; verbose; lint }
     with
     | code -> code
     | exception Unix.Unix_error (err, _, _) ->
@@ -515,7 +625,7 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const serve $ telemetry_term $ metrics_arg $ prom_arg $ verbose_arg
-          $ jobs_arg $ cache_arg $ socket_arg $ queue_arg)
+          $ jobs_arg $ cache_arg $ lint_flag_arg $ socket_arg $ queue_arg)
 
 let client_cmd =
   let doc =
@@ -530,7 +640,7 @@ let client_cmd =
 let cmd =
   let doc = "Reproduce 'Impact of Test Point Insertion on Silicon Area and Timing during Layout' (DATE 2004)" in
   Cmd.group ~default:run_term (Cmd.info "tpi_flow" ~doc)
-    [ selftest_cmd; profile_cmd; serve_cmd; client_cmd; top_cmd ]
+    [ selftest_cmd; profile_cmd; lint_cmd; serve_cmd; client_cmd; top_cmd ]
 
 let () =
   (* a client vanishing mid-write must surface as a typed error, never as

@@ -1,0 +1,110 @@
+(* Regenerate the checked-in lint example netlists used by the CI lint
+   gate and the docs:
+
+   - lint_clean.v          -- passes every rule pack, exit 0
+   - lint_viol.v           -- seeded combinational loop (struct.comb-loop)
+                              plus a test point on a critical path
+                              (tpi.critical-path), exit 1
+   - lint_viol.waivers.json -- content-addressed baseline for the above,
+                              so --waive brings it back to exit 0
+
+   dune exec examples/gen_lint_examples.exe [DIR]   (default: examples) *)
+
+module Design = Core.Design
+module Cell = Core.Cell
+
+let cell kind = Core.Library.min_drive_strength Core.Library.default kind
+
+let dff = lazy (cell Cell.Dff)
+let inv = lazy (cell Cell.Inv)
+let nand2 = lazy (cell Cell.Nand2)
+let xor2 = lazy (cell Cell.Xor2)
+
+let gate d name c ins =
+  let i = Design.add_instance d ~name ~cell:(Lazy.force c) in
+  List.iteri (fun pin net -> Design.connect d ~inst:i.Design.id ~pin ~net) ins;
+  let y = Design.add_net d (name ^ "_y") in
+  Design.connect d ~inst:i.Design.id ~pin:(Cell.output_pin i.Design.cell) ~net:y.Design.nid;
+  y.Design.nid
+
+let flop d name ~data ~clk ~domain =
+  let i = Design.add_instance d ~name ~cell:(Lazy.force dff) in
+  i.Design.domain <- domain;
+  Design.connect d ~inst:i.Design.id ~pin:0 ~net:data;
+  Design.connect d ~inst:i.Design.id ~pin:1 ~net:clk;
+  let q = Design.add_net d (name ^ "_q") in
+  Design.connect d ~inst:i.Design.id ~pin:2 ~net:q.Design.nid;
+  q.Design.nid
+
+(* every rule pack happy: one domain, fully wired, all outputs observed *)
+let clean () =
+  let d = Design.create "lint_clean" in
+  let clk = Design.add_port d "clk" Design.In in
+  let a = Design.add_port d "a" Design.In in
+  let b = Design.add_port d "b" Design.In in
+  let y = Design.add_port d "y" Design.Out in
+  let clk_n = (Design.port d clk.Design.pid).Design.pnet in
+  let dom = Design.add_domain d ~name:"core" ~period_ps:2000.0 ~clock_net:clk_n in
+  let n1 =
+    gate d "g1" nand2
+      [ (Design.port d a.Design.pid).Design.pnet;
+        (Design.port d b.Design.pid).Design.pnet ]
+  in
+  (* q feeds back into the XOR, so the flop output is observed twice *)
+  let q = ref (-1) in
+  let d1 = gate d "g2" xor2 [ n1; (q := flop d "ff1" ~data:n1 ~clk:clk_n ~domain:dom; !q) ] in
+  let q2 = flop d "ff2" ~data:d1 ~clk:clk_n ~domain:dom in
+  let yn = gate d "g3" inv [ q2 ] in
+  Design.connect_out_port d ~port:y.Design.pid ~net:yn;
+  d
+
+(* two seeded violations on top of an otherwise legal design: a
+   three-gate combinational loop, and a test point dropped onto a long
+   inverter chain whose path overruns the 500 ps clock period *)
+let violating () =
+  let d = Design.create "lint_viol" in
+  let clk = Design.add_port d "clk" Design.In in
+  let a = Design.add_port d "a" Design.In in
+  let b = Design.add_port d "b" Design.In in
+  let y = Design.add_port d "y" Design.Out in
+  let clk_n = (Design.port d clk.Design.pid).Design.pnet in
+  let dom = Design.add_domain d ~name:"core" ~period_ps:500.0 ~clock_net:clk_n in
+  (* the critical chain: 40 inverters port-to-flop *)
+  let chain = ref (Design.port d a.Design.pid).Design.pnet in
+  let tap = ref (-1) in
+  for k = 1 to 40 do
+    chain := gate d (Printf.sprintf "c%d" k) inv [ !chain ];
+    if k = 35 then tap := !chain
+  done;
+  let qc = flop d "ff_cap" ~data:!chain ~clk:clk_n ~domain:dom in
+  let yn = gate d "g_out" inv [ qc ] in
+  Design.connect_out_port d ~port:y.Design.pid ~net:yn;
+  (* the loop: l1 -> l2 -> l3 -> back into l1 *)
+  let l1 = Design.add_instance d ~name:"l1" ~cell:(Lazy.force nand2) in
+  Design.connect d ~inst:l1.Design.id ~pin:0
+    ~net:(Design.port d b.Design.pid).Design.pnet;
+  let l1y = Design.add_net d "l1_y" in
+  Design.connect d ~inst:l1.Design.id ~pin:2 ~net:l1y.Design.nid;
+  let l2y = gate d "l2" inv [ l1y.Design.nid ] in
+  let l3y = gate d "l3" inv [ l2y ] in
+  Design.connect d ~inst:l1.Design.id ~pin:1 ~net:l3y;
+  (* the mis-placed test point, inserted through the real TPI API *)
+  let (_ : Design.instance) = Core.Tpi_insert.insert_point d ~net:!tap ~index:0 in
+  d
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "examples" in
+  let path name = Filename.concat dir name in
+  Core.Verilog.write_file (path "lint_clean.v") (clean ());
+  Core.Verilog.write_file (path "lint_viol.v") (violating ());
+  (* baseline from the PARSED file: the waiver fingerprints must match
+     what `tpi_flow lint lint_viol.v --waive ...` computes *)
+  let reparsed = Core.Verilog.parse_file (path "lint_viol.v") in
+  let report = Core.Lint_engine.run reparsed in
+  Core.Lint_waiver.save
+    (path "lint_viol.waivers.json")
+    (Core.Lint_engine.baseline ~reason:"seeded example violation" report);
+  Printf.printf "wrote %s, %s, %s (%d diagnostic(s) baselined)\n"
+    (path "lint_clean.v") (path "lint_viol.v")
+    (path "lint_viol.waivers.json")
+    (List.length report.Core.Lint_engine.diags)

@@ -128,7 +128,8 @@ let undo_to t mark =
       t.fstamp.(n) <- old_stamp
   done;
   while (not (Stack.is_empty t.d_nets)) && snd (Stack.top t.d_nets) > mark do
-    ignore (Stack.pop t.d_nets)
+    let (_ : int * int) = Stack.pop t.d_nets in
+    ()
   done
 
 let reset t =
@@ -186,9 +187,9 @@ let imply t ctx start =
 
 let assign_source t ctx n v =
   let tv = if v then 1 else 0 in
-  ignore (set_gv t n tv);
+  let (_ : bool) = set_gv t n tv in
   let fvv = if n = ctx.stem_net then (if ctx.fault.Fault.stuck then 1 else 0) else tv in
-  ignore (set_fv t n fvv);
+  let (_ : bool) = set_fv t n fvv in
   mark_d t n;
   imply t ctx n
 
@@ -416,7 +417,7 @@ let attempt ?(backtrack_limit = 250) t ~keep (f : Fault.fault) =
     (* D-nets from a previous kept attempt belong to a dead stamp *)
     Stack.clear t.d_nets;
     if ctx.stem_net >= 0 then begin
-      ignore (set_fv t ctx.stem_net (if f.Fault.stuck then 1 else 0));
+      let (_ : bool) = set_fv t ctx.stem_net (if f.Fault.stuck then 1 else 0) in
       mark_d t ctx.stem_net;
       imply t ctx ctx.stem_net
     end;

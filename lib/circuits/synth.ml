@@ -158,7 +158,8 @@ let regular_gate st ~texture ~depth_target =
   let arity = Cell.num_inputs kind in
   (* target level shaping: deep targets chain onto recent (deep) nets *)
   let target = 2 + Rng.int st.rng (max 1 (depth_target - 1)) in
-  ignore (new_gate st kind (pick_inputs st ~arity ~max_level:target))
+  let (_ : int) = new_gate st kind (pick_inputs st ~arity ~max_level:target) in
+  ()
 
 (* Regular logic is generated module by module, like synthesized RTL: each
    module has a bounded input boundary and draws most gate inputs locally.
@@ -172,10 +173,15 @@ let module_block st ~texture ~depth_target ~size ~boundary_width ~adopted_ffs =
      signal boundary, and their D inputs are wired back to module-local
      nets below -- register-to-logic nets stay physically local, as they
      do in synthesized RTL *)
-  List.iter (fun (_, _, pool_idx) -> ignore (Vec.push local pool_idx)) adopted_ffs;
+  List.iter
+    (fun (_, _, pool_idx) ->
+      let (_ : int) = Vec.push local pool_idx in
+      ())
+    adopted_ffs;
   for _ = 1 to boundary_width do
     let idx = pick_input st ~max_level:2 ~avoid:[] in
-    ignore (Vec.push local idx)
+    let (_ : int) = Vec.push local idx in
+    ()
   done;
   let pick_local ~max_level ~avoid =
     let n = Vec.length local in
@@ -203,7 +209,8 @@ let module_block st ~texture ~depth_target ~size ~boundary_width ~adopted_ffs =
     in
     let ins = collect [] arity in
     let out = new_gate st kind ins in
-    ignore (Vec.push local out)
+    let (_ : int) = Vec.push local out in
+    ()
   done;
   (* close the loop: adopted registers capture module-local signals *)
   List.iter

@@ -58,6 +58,12 @@ module Serve_client = Serve.Client
 module Serve_chaos = Serve.Chaos
 module Jobq = Serve.Jobq
 module Retry = Serve.Retry
+module Lint_diag = Lint.Diag
+module Lint_rule = Lint.Rule
+module Lint_engine = Lint.Engine
+module Lint_waiver = Lint.Waiver
+module Lint_emit = Lint.Emit
+module Lint_timing = Lint.Timing
 module Trace = Obs.Trace
 module Metrics = Obs.Metrics
 module Json = Obs.Json

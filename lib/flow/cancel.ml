@@ -18,7 +18,8 @@ let create ?deadline_ms () =
 (* first reason wins; a lost race just means someone else cancelled us a
    moment earlier, which is the same outcome *)
 let cancel t ~reason =
-  ignore (Atomic.compare_and_set t.cancelled None (Some reason))
+  let (_ : bool) = Atomic.compare_and_set t.cancelled None (Some reason) in
+  ()
 
 let state t =
   match Atomic.get t.cancelled with

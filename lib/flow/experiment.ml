@@ -29,7 +29,7 @@ type row = {
   result : Pipeline.result;
 }
 
-let options_of ?pool ?cache ?cancel spec ~with_atpg ~tp_pct =
+let options_of ?pool ?cache ?cancel ?(lint = false) spec ~with_atpg ~tp_pct =
   { Pipeline.default_options with
     Pipeline.tp_percent = float_of_int tp_pct;
     chain_config = spec.chain_config;
@@ -37,7 +37,8 @@ let options_of ?pool ?cache ?cancel spec ~with_atpg ~tp_pct =
     run_atpg = with_atpg;
     pool;
     cache;
-    cancel }
+    cancel;
+    lint }
 
 (* design generation is level-invariant: with a cache every level of the
    fan-out shares one generator run (the store single-flights concurrent
@@ -53,9 +54,11 @@ let generate ?cache spec =
     in
     Cache.Store.memo store ~key mk
 
-let run_one ?pool ?cache ?(with_atpg = true) spec ~tp_pct =
+let run_one ?pool ?cache ?lint ?(with_atpg = true) spec ~tp_pct =
   let d = generate ?cache spec in
-  let result = Pipeline.run ~options:(options_of ?pool ?cache spec ~with_atpg ~tp_pct) d in
+  let result =
+    Pipeline.run ~options:(options_of ?pool ?cache ?lint spec ~with_atpg ~tp_pct) d
+  in
   { spec; tp_pct; result }
 
 (* fan the (independent, each internally deterministic) levels across the
@@ -69,10 +72,10 @@ let fan_levels pool tp_levels f =
     Array.to_list (Par.Pool.parallel_map p ~n:(Array.length arr) (fun i -> f arr.(i)))
   | _ -> List.map f tp_levels
 
-let sweep ?pool ?cache ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale
-    circuit =
+let sweep ?pool ?cache ?lint ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ])
+    ?scale circuit =
   let spec = spec_for ?scale circuit in
-  fan_levels pool tp_levels (fun tp_pct -> run_one ?pool ?cache ~with_atpg spec ~tp_pct)
+  fan_levels pool tp_levels (fun tp_pct -> run_one ?pool ?cache ?lint ~with_atpg spec ~tp_pct)
 
 type guarded_row = {
   g_spec : spec;
@@ -80,23 +83,23 @@ type guarded_row = {
   g_report : Guard.report;
 }
 
-let run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage
+let run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage ?lint
     ?(with_atpg = true) spec ~tp_pct =
   let report =
     Guard.run ?policy ?retries ?tamper ?on_stage ~circuit:spec.circuit
-      ~options:(options_of ?pool ?cache ?cancel spec ~with_atpg ~tp_pct)
+      ~options:(options_of ?pool ?cache ?cancel ?lint spec ~with_atpg ~tp_pct)
       (fun () -> generate ?cache spec)
   in
   { g_spec = spec; g_tp_pct = tp_pct; g_report = report }
 
 (* guarded sweep: a failed level becomes a degraded row instead of killing
    the whole experiment matrix *)
-let sweep_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage
+let sweep_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage ?lint
     ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
   let spec = spec_for ?scale circuit in
   fan_levels pool tp_levels (fun tp_pct ->
-      run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage ~with_atpg
-        spec ~tp_pct)
+      run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage ?lint
+        ~with_atpg spec ~tp_pct)
 
 let completed_rows grows =
   List.filter_map

@@ -22,11 +22,21 @@ type row = {
 }
 
 val run_one :
-  ?pool:Par.Pool.t -> ?cache:Cache.Store.t -> ?with_atpg:bool -> spec -> tp_pct:int -> row
+  ?pool:Par.Pool.t ->
+  ?cache:Cache.Store.t ->
+  ?lint:bool ->
+  ?with_atpg:bool ->
+  spec ->
+  tp_pct:int ->
+  row
+(** [lint] (default false) turns on the {!Pipeline.preflight} gate:
+    error-severity {!Lint} findings on the generated design raise
+    {!Lint.Engine.Lint_failed} before the first stage. *)
 
 val sweep :
   ?pool:Par.Pool.t ->
   ?cache:Cache.Store.t ->
+  ?lint:bool ->
   ?with_atpg:bool ->
   ?tp_levels:int list ->
   ?scale:float ->
@@ -63,6 +73,7 @@ val run_one_guarded :
   ?tamper:(attempt:int -> Guard.stage -> Pipeline.state -> unit) ->
   ?cancel:Cancel.t ->
   ?on_stage:(Guard.stage -> Guard.stage_status -> unit) ->
+  ?lint:bool ->
   ?with_atpg:bool ->
   spec ->
   tp_pct:int ->
@@ -76,6 +87,7 @@ val sweep_guarded :
   ?tamper:(attempt:int -> Guard.stage -> Pipeline.state -> unit) ->
   ?cancel:Cancel.t ->
   ?on_stage:(Guard.stage -> Guard.stage_status -> unit) ->
+  ?lint:bool ->
   ?with_atpg:bool ->
   ?tp_levels:int list ->
   ?scale:float ->

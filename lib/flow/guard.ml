@@ -114,6 +114,7 @@ let describe_exn = function
   | Sta.Analysis.Backtrack_diverged { net; nname } ->
     Printf.sprintf "backtrack-diverged: arrival bookkeeping inconsistent at net %d (%s)"
       net nname
+  | Lint.Engine.Lint_failed m -> "lint-failed: " ^ m
   | Failure m -> "failure: " ^ m
   | Invalid_argument m -> "invalid-argument: " ^ m
   | Not_found -> "not-found"
@@ -216,6 +217,17 @@ let attempt ~circuit ~options ~tamper ~cancel ~on_stage ~k mk_design =
     in
     (List.map (fun s -> (s, Skipped)) all_stages, None, Some err)
   | Ok d ->
+  match (try P.preflight ~options d; None with e -> Some e) with
+  | Some e ->
+    (* the lint gate rejected the input before any stage ran *)
+    let detail = describe_exn e in
+    let err = { stage = Tpi_scan; circuit; detail } in
+    Obs.Metrics.incr m_stage_failures;
+    Obs.Recorder.fault ~label:"lint.preflight"
+      ~detail:(Printf.sprintf "%s: %s" circuit detail)
+      ();
+    (List.map (fun s -> (s, Skipped)) all_stages, None, Some err)
+  | None ->
     let st = P.init ~options d in
     (* fault-injection runs bypass the cache: a tampered stage must not
        store (or be served) an entry a clean run could share *)

@@ -58,7 +58,14 @@ let detection_stage = function
   | Combinational_cycle -> Guard.Sta
   | m -> injection_stage m
 
-let no_candidate what = failwith ("Inject: no candidate for " ^ what)
+exception No_candidate of string
+
+let () =
+  Printexc.register_printer (function
+    | No_candidate what -> Some ("Inject.No_candidate: no candidate for " ^ what)
+    | _ -> None)
+
+let no_candidate what = raise (No_candidate what)
 
 let is_plain_comb (i : Design.instance) =
   match i.Design.cell.Cell.kind with

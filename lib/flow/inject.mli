@@ -24,6 +24,13 @@ type mutation =
 val all : mutation list
 (** The full injection matrix (10 classes). *)
 
+exception No_candidate of string
+(** An injector found no suitable site in the target design (e.g. no
+    scan chain with two cells to mis-order). A setup error of the
+    injection harness, never a flow fault — kept typed and registered
+    with {!Printexc} so it is distinguishable from a real [Failure]
+    raised by the stage under test. *)
+
 val name : mutation -> string
 val injection_stage : mutation -> Guard.stage
 val expected_class : mutation -> string

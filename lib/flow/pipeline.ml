@@ -11,6 +11,7 @@ type options = {
   pool : Par.Pool.t option;
   cache : Cache.Store.t option;
   cancel : Cancel.t option;
+  lint : bool;
 }
 
 let default_options =
@@ -23,7 +24,8 @@ let default_options =
     seed = 0x71C0;
     pool = None;
     cache = None;
-    cancel = None }
+    cancel = None;
+    lint = false }
 
 type result = {
   design : Netlist.Design.t;
@@ -110,7 +112,8 @@ let stage_tpi_scan st =
   st.s_tpi_report <-
     (if tp_count > 0 then Some (Tpi.Select.run ~config:options.tpi_config d ~count:tp_count)
      else None);
-  ignore (Scan.Replace.run d)
+  let (_ : int) = Scan.Replace.run d in
+  ()
 
 (* --- step 2: floorplanning and placement --- *)
 let stage_place st =
@@ -326,7 +329,14 @@ let cached_stage ctx name body (st : state) =
 let stage_names_in_order =
   [ "tpi-scan"; "place"; "reorder-atpg"; "eco-cts-route"; "extract"; "sta" ]
 
+(* read-only gate ahead of the first stage: a design that would mis-build
+   (combinational loops, multi-driven nets, mis-clocked test points, ...)
+   is rejected before any stage spends time on it *)
+let preflight ~options d =
+  if options.lint then Lint.Engine.gate (Lint.Engine.run d)
+
 let run ?(options = default_options) (d : Design.t) =
+  preflight ~options d;
   let st = init ~options d in
   let ctx = cache_ctx options in
   List.iter2

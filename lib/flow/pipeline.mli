@@ -37,6 +37,12 @@ type options = {
           next stage once the token is cancelled or past its deadline).
           Like the pool and the cache, excluded from cache keys: it never
           changes what a completed stage computes *)
+  lint : bool;
+      (** pre-flight the input design through {!Lint.Engine} before the
+          first stage; error-severity findings abort with
+          {!Lint.Engine.Lint_failed} (error class ["lint-failed"] under
+          {!Guard}). Read-only over the design, so — like the pool, cache
+          and cancel token — excluded from stage-cache keys *)
 }
 
 val default_options : options
@@ -60,6 +66,13 @@ type result = {
   stats : Netlist.Stats.t;  (** post-flow netlist statistics *)
   drc : Layout.Drc.report;  (** max-capacitance fixes applied before routing *)
 }
+
+val preflight : options:options -> Netlist.Design.t -> unit
+(** Lint gate ahead of the first stage: when [options.lint] is set, run
+    {!Lint.Engine.run} over the input design and raise
+    {!Lint.Engine.Lint_failed} on any error-severity finding. Read-only;
+    no-op when the flag is off. Called by {!run} and by {!Guard}
+    (which maps the escape to the ["lint-failed"] error class). *)
 
 val run : ?options:options -> Netlist.Design.t -> result
 (** Mutates the design (TPI, scan, buffers, fillers). *)

@@ -70,7 +70,7 @@ let run (pl : Place.t) (rt : Route.t) =
           subtree_cap.(v) <- c;
           c
         in
-        ignore (cap_of 0);
+        let (_ : float) = cap_of 0 in
         (* Elmore from the driver: R(ohm) * C(fF) = 1e-3 ps *)
         let delay = Array.make k 0.0 in
         let rec walk v =

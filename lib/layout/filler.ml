@@ -22,7 +22,7 @@ let run (pl : Place.t) =
         (fun (cell : Stdcell.Cell.t) ->
           while !free >= cell.Stdcell.Cell.width -. 1e-9 do
             let name = Printf.sprintf "fill_r%d_%d" r !added in
-            ignore (Design.add_instance d ~name ~cell);
+            let (_ : Design.instance) = Design.add_instance d ~name ~cell in
             incr added;
             free := !free -. cell.Stdcell.Cell.width;
             area := !area +. Stdcell.Cell.area cell

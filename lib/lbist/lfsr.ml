@@ -47,7 +47,13 @@ let next_word t =
 
 let period_probe t n =
   let s0 = t.s in
-  let rec go k = if k = 0 then false else begin ignore (step t); t.s = s0 || go (k - 1) end in
+  let rec go k =
+    if k = 0 then false
+    else begin
+      let (_ : bool) = step t in
+      t.s = s0 || go (k - 1)
+    end
+  in
   let hit = go n in
   t.s <- s0;
   hit

@@ -10,7 +10,7 @@ let rotl1 x =
 
 let compact t word =
   (* shift the signature through the LFSR dynamics, then inject the word *)
-  ignore (Lfsr.step t.lfsr);
+  let (_ : bool) = Lfsr.step t.lfsr in
   t.sig_ <- Int64.logxor (rotl1 t.sig_) (Int64.logxor word (Lfsr.state t.lfsr))
 
 let signature t = t.sig_

@@ -1,0 +1,21 @@
+(** The clock/scan rule pack: clock-domain discipline and scan-chain
+    integrity. Rule ids (stable, DESIGN.md §6.5):
+
+    - [clock.ff-no-domain] (error) — sequential cell without a clock
+      domain;
+    - [clock.ff-clock-mismatch] (error) — flip-flop clock pin not on its
+      domain's declared clock net;
+    - [clock.cdc-unsynced] (warn) — a capture flip-flop's data cone
+      crosses clock domains through combinational logic (no
+      synchronizer);
+    - [clock.tp-domain] (error) — inserted test point clocked in a
+      different domain than {!Tpi.Clocking} assigns its tapped net;
+    - [scan.chain-stitch] (error) — scan stitching broken: against the
+      planned chains when the caller provides them, structurally (every
+      TI must ride a scan Q, scan-in port or tie) otherwise;
+    - [scan.lockup-crossing] (warn) — adjacent chain cells in different
+      domains with no lockup element between them (needs the chains
+      artifact). *)
+
+val pack_name : string
+val rules : Rule.t list

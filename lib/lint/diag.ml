@@ -1,0 +1,71 @@
+module Design = Netlist.Design
+
+type severity =
+  | Error
+  | Warn
+  | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+
+let severity_rank = function
+  | Error -> 0
+  | Warn -> 1
+  | Info -> 2
+
+type location =
+  | Net of int
+  | Inst of int
+  | Port of int
+  | Stage of string
+  | Design
+
+type t = {
+  rule : string;
+  severity : severity;
+  loc : location;
+  message : string;
+  hint : string option;
+}
+
+let make ~rule ~severity ~loc ?hint message = { rule; severity; loc; message; hint }
+
+let loc_string (d : Design.t) = function
+  | Net n when n >= 0 && n < Design.num_nets d ->
+    Printf.sprintf "net n%d (%s)" n (Design.net d n).Design.nname
+  | Net n -> Printf.sprintf "net n%d" n
+  | Inst i when i >= 0 && i < Design.num_insts d ->
+    Printf.sprintf "inst i%d (%s)" i (Design.inst d i).Design.iname
+  | Inst i -> Printf.sprintf "inst i%d" i
+  | Port p when p >= 0 && p < Util.Vec.length d.Design.ports ->
+    Printf.sprintf "port p%d (%s)" p (Design.port d p).Design.pname
+  | Port p -> Printf.sprintf "port p%d" p
+  | Stage s -> s
+  | Design -> "design"
+
+(* a total order on locations for the deterministic report sort *)
+let loc_rank = function
+  | Design -> (0, 0, "")
+  | Port p -> (1, p, "")
+  | Net n -> (2, n, "")
+  | Inst i -> (3, i, "")
+  | Stage s -> (4, 0, s)
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare (loc_rank a.loc) (loc_rank b.loc) in
+      if c <> 0 then c else String.compare a.message b.message
+
+let pp d ppf t =
+  Format.fprintf ppf "%-5s %-24s %s: %s" (severity_name t.severity) t.rule
+    (loc_string d t.loc) t.message;
+  match t.hint with
+  | Some h -> Format.fprintf ppf " [fix: %s]" h
+  | None -> ()

@@ -1,0 +1,172 @@
+module Json = Obs.Json
+
+let plural n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s")
+
+let summary (r : Engine.report) =
+  let extras =
+    (if r.Engine.waived = [] then []
+     else [ Printf.sprintf "%d waived" (List.length r.Engine.waived) ])
+    @
+    if r.Engine.stale = [] then []
+    else [ Printf.sprintf "%d stale waiver(s)" (List.length r.Engine.stale) ]
+  in
+  Printf.sprintf "lint: %s, %s%s in %.1f ms"
+    (plural r.Engine.errors "error")
+    (plural r.Engine.warnings "warning")
+    (match extras with [] -> "" | es -> Printf.sprintf " (%s)" (String.concat ", " es))
+    r.Engine.total_ms
+
+let text design (r : Engine.report) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (d, _) ->
+      Buffer.add_string buf (Format.asprintf "%a" (Diag.pp design) d);
+      Buffer.add_char buf '\n')
+    r.Engine.diags;
+  List.iter
+    (fun (e : Waiver.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "note: stale waiver %s (%s) matched nothing\n"
+           e.Waiver.fingerprint e.Waiver.rule))
+    r.Engine.stale;
+  Buffer.add_string buf (summary r);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* --- machine JSON --- *)
+
+let loc_json design (loc : Diag.location) =
+  let kind, id =
+    match loc with
+    | Diag.Net n -> ("net", n)
+    | Diag.Inst i -> ("inst", i)
+    | Diag.Port p -> ("port", p)
+    | Diag.Stage _ -> ("stage", -1)
+    | Diag.Design -> ("design", -1)
+  in
+  Json.Obj
+    ([ ("kind", Json.String kind) ]
+    @ (if id >= 0 then [ ("id", Json.Int id) ] else [])
+    @ [ ("text", Json.String (Diag.loc_string design loc)) ])
+
+let diag_json design ((d : Diag.t), fp) =
+  Json.Obj
+    ([ ("rule", Json.String d.Diag.rule);
+       ("severity", Json.String (Diag.severity_name d.Diag.severity));
+       ("loc", loc_json design d.Diag.loc);
+       ("message", Json.String d.Diag.message) ]
+    @ (match d.Diag.hint with
+       | Some h -> [ ("hint", Json.String h) ]
+       | None -> [])
+    @ [ ("fingerprint", Json.String fp) ])
+
+let json design (r : Engine.report) =
+  Json.Obj
+    [ ("version", Json.Int 1);
+      ( "summary",
+        Json.Obj
+          [ ("errors", Json.Int r.Engine.errors);
+            ("warnings", Json.Int r.Engine.warnings);
+            ("infos", Json.Int r.Engine.infos);
+            ("waived", Json.Int (List.length r.Engine.waived));
+            ("stale_waivers", Json.Int (List.length r.Engine.stale));
+            ("total_ms", Json.Float r.Engine.total_ms) ] );
+      ("diagnostics", Json.List (List.map (diag_json design) r.Engine.diags));
+      ("waived", Json.List (List.map (diag_json design) r.Engine.waived));
+      ( "stale_waivers",
+        Json.List
+          (List.map
+             (fun (e : Waiver.entry) ->
+               Json.Obj
+                 [ ("fingerprint", Json.String e.Waiver.fingerprint);
+                   ("rule", Json.String e.Waiver.rule);
+                   ("reason", Json.String e.Waiver.reason) ])
+             r.Engine.stale) );
+      ( "rules",
+        Json.List
+          (List.map
+             (fun (s : Engine.stat) ->
+               Json.Obj
+                 [ ("id", Json.String s.Engine.rule_id);
+                   ("pack", Json.String s.Engine.pack);
+                   ("count", Json.Int s.Engine.count);
+                   ("ms", Json.Float s.Engine.ms) ])
+             r.Engine.stats) ) ]
+
+(* --- SARIF 2.1.0 --- *)
+
+let sarif_level = function
+  | Diag.Error -> "error"
+  | Diag.Warn -> "warning"
+  | Diag.Info -> "note"
+
+let sarif_loc_kind = function
+  | Diag.Net _ -> "variable"      (* closest SARIF logical kind for a net *)
+  | Diag.Inst _ -> "object"
+  | Diag.Port _ -> "parameter"
+  | Diag.Stage _ -> "resource"
+  | Diag.Design -> "module"
+
+let sarif_result design ~suppressed ((d : Diag.t), fp) =
+  Json.Obj
+    ([ ("ruleId", Json.String d.Diag.rule);
+       ("level", Json.String (sarif_level d.Diag.severity));
+       ( "message",
+         Json.Obj
+           [ ( "text",
+               Json.String
+                 (match d.Diag.hint with
+                  | Some h -> d.Diag.message ^ " [fix: " ^ h ^ "]"
+                  | None -> d.Diag.message) ) ] );
+       ( "locations",
+         Json.List
+           [ Json.Obj
+               [ ( "logicalLocations",
+                   Json.List
+                     [ Json.Obj
+                         [ ("name", Json.String (Diag.loc_string design d.Diag.loc));
+                           ("kind", Json.String (sarif_loc_kind d.Diag.loc)) ] ] ) ] ] );
+       ("partialFingerprints", Json.Obj [ ("tpiLint/v1", Json.String fp) ]) ]
+    @
+    if suppressed then
+      [ ( "suppressions",
+          Json.List
+            [ Json.Obj
+                [ ("kind", Json.String "external");
+                  ("justification", Json.String "waived") ] ] ) ]
+    else [])
+
+let sarif design (r : Engine.report) =
+  let rule_meta (rule : Rule.t) =
+    Json.Obj
+      [ ("id", Json.String rule.Rule.id);
+        ("name", Json.String rule.Rule.id);
+        ("shortDescription", Json.Obj [ ("text", Json.String rule.Rule.title) ]);
+        ( "defaultConfiguration",
+          Json.Obj [ ("level", Json.String (sarif_level rule.Rule.severity)) ] );
+        ( "properties",
+          Json.Obj [ ("pack", Json.String rule.Rule.pack) ] ) ]
+  in
+  Json.Obj
+    [ ( "$schema",
+        Json.String
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+      );
+      ("version", Json.String "2.1.0");
+      ( "runs",
+        Json.List
+          [ Json.Obj
+              [ ( "tool",
+                  Json.Obj
+                    [ ( "driver",
+                        Json.Obj
+                          [ ("name", Json.String "tpi_flow-lint");
+                            ("version", Json.String "1.0.0");
+                            ( "rules",
+                              Json.List (List.map rule_meta Engine.all_rules) ) ] )
+                    ] );
+                ( "results",
+                  Json.List
+                    (List.map (sarif_result design ~suppressed:false) r.Engine.diags
+                    @ List.map (sarif_result design ~suppressed:true) r.Engine.waived)
+                ) ] ] ) ]

@@ -1,0 +1,24 @@
+(** Report rendering: human text, machine JSON, and SARIF 2.1.0.
+
+    All three emitters are pure functions of a {!Engine.report} plus the
+    design (needed to resolve location anchors into names). The JSON and
+    SARIF forms carry the waiver fingerprints so external dashboards can
+    track a finding across renames; SARIF additionally renders waived
+    findings as suppressed results, which is how code-scanning UIs
+    expect baselines to arrive. *)
+
+val summary : Engine.report -> string
+(** One line: ["lint: 2 errors, 1 warning (3 waived, 1 stale waiver) in 4.2 ms"]. *)
+
+val text : Netlist.Design.t -> Engine.report -> string
+(** One diagnostic per line in report order, then stale-waiver notes,
+    then the summary line. Empty-report output is just the summary. *)
+
+val json : Netlist.Design.t -> Engine.report -> Obs.Json.t
+(** Stable machine shape: [{version; summary; diagnostics; waived;
+    stale_waivers; rules}] — see DESIGN.md §6.5. *)
+
+val sarif : Netlist.Design.t -> Engine.report -> Obs.Json.t
+(** SARIF 2.1.0 with one run, rule metadata for every registered rule,
+    logical locations, [partialFingerprints.tpiLint/v1] and
+    [suppressions] on waived results. *)

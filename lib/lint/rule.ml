@@ -1,0 +1,42 @@
+type artifacts = {
+  chains : Scan.Chains.t option;
+  slack : Sta.Slack.t option;
+  crit_nets : int list option;
+}
+
+let no_artifacts = { chains = None; slack = None; crit_nets = None }
+
+type ctx = {
+  design : Netlist.Design.t;
+  arts : artifacts;
+  cmodel : Netlist.Cmodel.t option lazy_t;
+  cop : Testability.Cop.t option lazy_t;
+  regions : Testability.Regions.t option lazy_t;
+  timing : Timing.t lazy_t;
+  facts : Structfacts.t lazy_t;
+}
+
+let make_ctx ?(arts = no_artifacts) design =
+  let cmodel = lazy (try Some (Netlist.Cmodel.build design) with _ -> None) in
+  let on_model f = lazy (match Lazy.force cmodel with None -> None | Some m -> (try Some (f m) with _ -> None)) in
+  { design;
+    arts;
+    cmodel;
+    cop = on_model Testability.Cop.compute;
+    regions = on_model Testability.Regions.compute;
+    timing = lazy (Timing.estimate design);
+    facts = lazy (Structfacts.compute design) }
+
+type t = {
+  id : string;
+  pack : string;
+  title : string;
+  severity : Diag.severity;
+  check : ctx -> Diag.t list;
+}
+
+let diag r ~loc ?hint message =
+  Diag.make ~rule:r.id ~severity:r.severity ~loc ?hint message
+
+let diag_at r ~severity ~loc ?hint message =
+  Diag.make ~rule:r.id ~severity ~loc ?hint message

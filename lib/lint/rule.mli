@@ -1,0 +1,53 @@
+(** Lint rules: pure functions from a shared analysis context to
+    diagnostics.
+
+    Rules never mutate the design (DESIGN.md §6.5: [Lint.Engine] asserts
+    this with a fingerprint check in tests) and never raise — a rule that
+    does is caught by the engine and reported as an [engine.rule-crash]
+    diagnostic. Expensive shared analyses (capture-mode model, COP
+    probabilities, fanout-free regions, the zero-wireload timing
+    estimate) are computed lazily and at most once per engine run, so a
+    pack's rules share one traversal instead of re-deriving the world. *)
+
+(** Optional stage artifacts a caller may already have. Rules degrade
+    gracefully without them: scan-chain rules fall back to structural
+    stitching checks, the critical-path rule falls back to the
+    {!Timing} estimate when no real {!Sta.Slack} report exists yet. *)
+type artifacts = {
+  chains : Scan.Chains.t option;   (** planned scan chains *)
+  slack : Sta.Slack.t option;      (** post-layout slack report *)
+  crit_nets : int list option;     (** nets on near-critical paths (STA) *)
+}
+
+val no_artifacts : artifacts
+
+type ctx = {
+  design : Netlist.Design.t;
+  arts : artifacts;
+  cmodel : Netlist.Cmodel.t option lazy_t;
+      (** capture-mode combinational view; [None] if the design cannot
+          be modelled (e.g. a combinational loop) *)
+  cop : Testability.Cop.t option lazy_t;
+  regions : Testability.Regions.t option lazy_t;
+  timing : Timing.t lazy_t;  (** total: loops reported, never raised *)
+  facts : Structfacts.t lazy_t;
+      (** the one-pass structural fact sweep shared by the whole
+          structural pack *)
+}
+
+val make_ctx : ?arts:artifacts -> Netlist.Design.t -> ctx
+
+type t = {
+  id : string;           (** stable, kebab-case, pack-prefixed *)
+  pack : string;         (** ["structural"], ["clock-scan"], ["tpi-timing"] *)
+  title : string;        (** one-line description (SARIF shortDescription) *)
+  severity : Diag.severity;  (** default severity of this rule's findings *)
+  check : ctx -> Diag.t list;
+}
+
+val diag : t -> loc:Diag.location -> ?hint:string -> string -> Diag.t
+(** A diagnostic carrying the rule's id and default severity. *)
+
+val diag_at : t -> severity:Diag.severity -> loc:Diag.location -> ?hint:string -> string -> Diag.t
+(** Same, overriding the severity (e.g. a warn-rule finding so extreme
+    it is promoted to error). *)

@@ -1,0 +1,140 @@
+(* One shared traversal over instances, nets and ports collecting every
+   cheap structural fact the rule packs consume. Computed lazily, at most
+   once per engine run, so the structural pack is one pass over the
+   design regardless of how many of its rules are enabled. *)
+
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+module Pin = Stdcell.Pin
+
+type t = {
+  multi_driven : (int * string list) list;
+      (** net id, description of each driving pin ("kind.pin" / "port"),
+          for nets with more than one driver according to the instance
+          connection arrays — the ground truth even when [net.driver]
+          records only one *)
+  undriven : int list;        (** nets with loads but no driver *)
+  floating_inputs : (int * int) list;  (** (instance, pin) *)
+  unloaded_outputs : int list;
+      (** combinational instances whose output drives nothing *)
+  dangling_ffs : int list;    (** flip-flops whose Q drives nothing *)
+  arity_mismatches : (int * string) list;  (** (instance, what is wrong) *)
+  unbound_ports : int list;
+  ffs_without_domain : int list;
+  ff_clock_mismatches : int list;
+      (** sequential instances whose clock pin is not on their domain's
+          declared clock net *)
+  tsffs : int list;           (** test points, id order *)
+  ff_count : int;             (** all sequential instances *)
+}
+
+let compute (d : Design.t) =
+  let nn = Design.num_nets d in
+  let drive_count = Array.make nn 0 in
+  let drive_desc = Array.make nn [] in
+  let floating_inputs = ref [] in
+  let unloaded_outputs = ref [] in
+  let dangling_ffs = ref [] in
+  let arity_mismatches = ref [] in
+  let ffs_without_domain = ref [] in
+  let ff_clock_mismatches = ref [] in
+  let tsffs = ref [] in
+  let ff_count = ref 0 in
+  Design.iter_nets d (fun n ->
+      match n.Design.driver with
+      | Design.Port_in _ ->
+        drive_count.(n.Design.nid) <- drive_count.(n.Design.nid) + 1;
+        drive_desc.(n.Design.nid) <- "port" :: drive_desc.(n.Design.nid)
+      | _ -> ());
+  Design.iter_insts d (fun i ->
+      let cell = i.Design.cell in
+      let pins = cell.Cell.pins in
+      if Array.length i.Design.conns <> Array.length pins then
+        arity_mismatches :=
+          ( i.Design.id,
+            Printf.sprintf "%d connection slots for %d pins of %s"
+              (Array.length i.Design.conns) (Array.length pins) cell.Cell.name )
+          :: !arity_mismatches
+      else begin
+        (match Stdcell.Library.by_name d.Design.lib cell.Cell.name with
+         | Some lib_cell when Array.length lib_cell.Cell.pins <> Array.length pins ->
+           arity_mismatches :=
+             ( i.Design.id,
+               Printf.sprintf "%s has %d pins here but %d in the library" cell.Cell.name
+                 (Array.length pins)
+                 (Array.length lib_cell.Cell.pins) )
+           :: !arity_mismatches
+         | Some _ -> ()
+         | None ->
+           arity_mismatches :=
+             (i.Design.id, Printf.sprintf "cell %s not in the library" cell.Cell.name)
+           :: !arity_mismatches);
+        Array.iteri
+          (fun pin nid ->
+            if pin < Array.length pins then
+              if Pin.is_input pins.(pin) then begin
+                if nid < 0 && cell.Cell.kind <> Cell.Filler then
+                  floating_inputs := (i.Design.id, pin) :: !floating_inputs
+              end
+              else if nid >= 0 then begin
+                drive_count.(nid) <- drive_count.(nid) + 1;
+                drive_desc.(nid) <-
+                  Printf.sprintf "%s.%d" (Cell.kind_name cell.Cell.kind) pin
+                  :: drive_desc.(nid)
+              end)
+          i.Design.conns;
+        (* output-load accounting: a gate or flip-flop whose output feeds
+           neither a sink pin nor an output port computes into the void *)
+        (match cell.Cell.kind with
+         | Cell.Tiehi | Cell.Tielo | Cell.Filler -> ()
+         | _ ->
+           let out = Design.net_of_output d i in
+           let unloaded =
+             out < 0
+             ||
+             let n = Design.net d out in
+             n.Design.sinks = [] && n.Design.out_port < 0
+           in
+           if unloaded then
+             if Cell.is_ff cell then dangling_ffs := i.Design.id :: !dangling_ffs
+             else unloaded_outputs := i.Design.id :: !unloaded_outputs);
+        if cell.Cell.sequential then begin
+          incr ff_count;
+          if cell.Cell.kind = Cell.Tsff then tsffs := i.Design.id :: !tsffs;
+          if
+            i.Design.domain < 0
+            || i.Design.domain >= Array.length d.Design.domains
+          then ffs_without_domain := i.Design.id :: !ffs_without_domain
+          else
+            match Cell.clock_pin cell with
+            | Some ck ->
+              let expect = d.Design.domains.(i.Design.domain).Design.clock_net in
+              if i.Design.conns.(ck) <> expect then
+                ff_clock_mismatches := i.Design.id :: !ff_clock_mismatches
+            | None -> ()
+        end
+      end);
+  let undriven = ref [] and multi = ref [] in
+  Design.iter_nets d (fun n ->
+      let nid = n.Design.nid in
+      if drive_count.(nid) > 1 then multi := (nid, List.rev drive_desc.(nid)) :: !multi;
+      if
+        drive_count.(nid) = 0
+        && (n.Design.sinks <> [] || n.Design.out_port >= 0)
+      then undriven := nid :: !undriven);
+  let unbound_ports = ref [] in
+  Util.Vec.iter
+    (fun (p : Design.port) ->
+      if p.Design.pnet < 0 then unbound_ports := p.Design.pid :: !unbound_ports)
+    d.Design.ports;
+  { multi_driven = List.rev !multi;
+    undriven = List.rev !undriven;
+    floating_inputs = List.rev !floating_inputs;
+    unloaded_outputs = List.rev !unloaded_outputs;
+    dangling_ffs = List.rev !dangling_ffs;
+    arity_mismatches = List.rev !arity_mismatches;
+    unbound_ports = List.rev !unbound_ports;
+    ffs_without_domain = List.rev !ffs_without_domain;
+    ff_clock_mismatches = List.rev !ff_clock_mismatches;
+    tsffs = List.rev !tsffs;
+    ff_count = !ff_count }

@@ -1,0 +1,193 @@
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+module Pin = Stdcell.Pin
+
+type t = {
+  arrival : float array;
+  departure : float array;
+  path : float array;
+  crit : float;
+  loop_insts : int list;
+  min_period : float;
+}
+
+let nominal_slew = 50.0 (* ps, matches Sta.Analysis.default_config input slew *)
+
+let app_arcs (cell : Cell.t) =
+  List.filter (fun (a : Cell.arc) -> not a.Cell.test_only) (Array.to_list cell.Cell.arcs)
+
+(* a propagation gate is any instance with an application-mode arc whose
+   from-pin is not its clock: combinational cells, clock buffers and the
+   transparent TSFF. Dff/Sdff only launch (their lone app arc is CK->Q)
+   and tie/filler cells have no arcs at all. *)
+let prop_arcs (i : Design.instance) =
+  let ck = Cell.clock_pin i.Design.cell in
+  List.filter (fun (a : Cell.arc) -> Some a.Cell.from_pin <> ck) (app_arcs i.Design.cell)
+
+let is_prop i = prop_arcs i <> []
+
+let launch_arc (i : Design.instance) =
+  match Cell.clock_pin i.Design.cell with
+  | None -> None
+  | Some ck -> List.find_opt (fun (a : Cell.arc) -> a.Cell.from_pin = ck) (app_arcs i.Design.cell)
+
+let estimate (d : Design.t) =
+  let nn = Design.num_nets d and ni = Design.num_insts d in
+  let arrival = Array.make nn Float.nan in
+  let slew = Array.make nn nominal_slew in
+  let load = Array.make nn 0.0 in
+  Design.iter_nets d (fun n ->
+      load.(n.Design.nid) <-
+        List.fold_left
+          (fun acc (si, sp) ->
+            let c = Design.inst d si in
+            if sp < Array.length c.Design.cell.Cell.pins then
+              acc +. c.Design.cell.Cell.pins.(sp).Pin.cap
+            else acc)
+          0.0 n.Design.sinks);
+  (* sources: input ports at 0, tie outputs at 0, Dff/Sdff Q at clk->q *)
+  List.iter
+    (fun (p : Design.port) -> if p.Design.pnet >= 0 then arrival.(p.Design.pnet) <- 0.0)
+    (Design.input_ports d);
+  Design.iter_insts d (fun i ->
+      let out = Design.net_of_output d i in
+      if out >= 0 then begin
+        match i.Design.cell.Cell.kind with
+        | Cell.Tiehi | Cell.Tielo -> arrival.(out) <- 0.0
+        | (Cell.Dff | Cell.Sdff) -> (
+          match launch_arc i with
+          | Some a ->
+            arrival.(out) <- Stdcell.Lut.value a.Cell.delay ~slew:nominal_slew ~load:load.(out);
+            slew.(out) <- Stdcell.Lut.value a.Cell.out_slew ~slew:nominal_slew ~load:load.(out)
+          | None -> arrival.(out) <- 0.0)
+        | _ -> ()
+      end);
+  (* Kahn over propagation gates: a gate fires once every net feeding one
+     of its propagation from-pins is final. A net is pending only while
+     its driver is an unfired propagation gate. *)
+  let pending = Array.make ni 0 in
+  let queue = Queue.create () in
+  let prop_count = ref 0 in
+  let net_pending nid =
+    nid >= 0
+    &&
+    match (Design.net d nid).Design.driver with
+    | Design.Cell_pin (src, _) -> is_prop (Design.inst d src)
+    | _ -> false
+  in
+  Design.iter_insts d (fun i ->
+      let arcs = prop_arcs i in
+      if arcs <> [] then begin
+        incr prop_count;
+        let count =
+          List.length
+            (List.sort_uniq Int.compare
+               (List.filter_map
+                  (fun (a : Cell.arc) ->
+                    let nid = i.Design.conns.(a.Cell.from_pin) in
+                    if net_pending nid then Some nid else None)
+                  arcs))
+        in
+        pending.(i.Design.id) <- count;
+        if count = 0 then Queue.add i.Design.id queue
+      end);
+  let order = ref [] in
+  let fired = Array.make ni false in
+  let emitted = ref 0 in
+  while not (Queue.is_empty queue) do
+    let iid = Queue.pop queue in
+    if not fired.(iid) then begin
+      fired.(iid) <- true;
+      incr emitted;
+      order := iid :: !order;
+      let i = Design.inst d iid in
+      List.iter
+        (fun (a : Cell.arc) ->
+          let fnet = i.Design.conns.(a.Cell.from_pin)
+          and onet = i.Design.conns.(a.Cell.to_pin) in
+          if onet >= 0 then begin
+            let in_arr, in_slew =
+              if fnet >= 0 && not (Float.is_nan arrival.(fnet)) then
+                (arrival.(fnet), slew.(fnet))
+              else (0.0, nominal_slew)
+            in
+            let dly = Stdcell.Lut.value a.Cell.delay ~slew:in_slew ~load:load.(onet) in
+            let cand = in_arr +. dly in
+            if Float.is_nan arrival.(onet) || cand > arrival.(onet) then begin
+              arrival.(onet) <- cand;
+              slew.(onet) <-
+                Stdcell.Lut.value a.Cell.out_slew ~slew:in_slew ~load:load.(onet)
+            end
+          end)
+        (prop_arcs i);
+      let out = Design.net_of_output d i in
+      if out >= 0 then
+        (* one decrement per sink gate, even when the net feeds it on
+           several pins: pending counted distinct nets *)
+        List.iter
+          (fun sink ->
+            if (not fired.(sink)) && pending.(sink) > 0 then begin
+              pending.(sink) <- pending.(sink) - 1;
+              if pending.(sink) = 0 then Queue.add sink queue
+            end)
+          (List.sort_uniq Int.compare (List.map fst (Design.net d out).Design.sinks))
+    end
+  done;
+  let loop_insts = ref [] in
+  if !emitted <> !prop_count then
+    Design.iter_insts d (fun i ->
+        if is_prop i && not fired.(i.Design.id) then
+          loop_insts := i.Design.id :: !loop_insts);
+  let loop_insts = List.rev !loop_insts in
+  (* backward pass, reverse topological order: departure of a net is the
+     worst remaining delay to an endpoint (setup at a capturing FF data
+     pin, 0 at an output port) *)
+  let departure = Array.make nn Float.nan in
+  Design.iter_nets d (fun n ->
+      let nid = n.Design.nid in
+      if n.Design.out_port >= 0 then departure.(nid) <- 0.0;
+      List.iter
+        (fun (si, sp) ->
+          let i = Design.inst d si in
+          if i.Design.cell.Cell.sequential && Cell.data_pin i.Design.cell = Some sp then
+            let s = i.Design.cell.Cell.setup in
+            if Float.is_nan departure.(nid) || s > departure.(nid) then
+              departure.(nid) <- s)
+        n.Design.sinks);
+  List.iter
+    (fun iid ->
+      let i = Design.inst d iid in
+      List.iter
+        (fun (a : Cell.arc) ->
+          let fnet = i.Design.conns.(a.Cell.from_pin)
+          and onet = i.Design.conns.(a.Cell.to_pin) in
+          if fnet >= 0 && onet >= 0 && not (Float.is_nan departure.(onet)) then begin
+            let in_slew = if fnet >= 0 then slew.(fnet) else nominal_slew in
+            let dly = Stdcell.Lut.value a.Cell.delay ~slew:in_slew ~load:load.(onet) in
+            let cand = dly +. departure.(onet) in
+            if Float.is_nan departure.(fnet) || cand > departure.(fnet) then
+              departure.(fnet) <- cand
+          end)
+        (prop_arcs i))
+    !order;
+  let path = Array.make nn Float.nan in
+  let crit = ref 0.0 in
+  for nid = 0 to nn - 1 do
+    if not (Float.is_nan arrival.(nid) || Float.is_nan departure.(nid)) then begin
+      path.(nid) <- arrival.(nid) +. departure.(nid);
+      if path.(nid) > !crit then crit := path.(nid)
+    end
+  done;
+  let min_period =
+    Array.fold_left
+      (fun acc (dom : Design.domain) -> Float.min acc dom.Design.period_ps)
+      Float.infinity d.Design.domains
+  in
+  { arrival; departure; path; crit = !crit; loop_insts; min_period }
+
+let near_critical t ~net ~margin_frac =
+  net >= 0
+  && net < Array.length t.path
+  && (not (Float.is_nan t.path.(net)))
+  && t.crit > 0.0
+  && t.path.(net) >= t.crit *. (1.0 -. margin_frac)

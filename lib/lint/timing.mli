@@ -1,0 +1,38 @@
+(** Zero-wireload timing estimate for pre-layout lint rules.
+
+    A cheap stand-in for {!Sta.Analysis} that needs no placement or
+    extraction: worst arrivals are propagated over the application-mode
+    cell arcs (NLDM lookups at the net's lumped pin load, test-only arcs
+    blocked, TSFFs combinationally transparent exactly as in real STA)
+    with zero wire delay and zero clock latency. A matching backward pass
+    yields, for every net, the longest path {e through} it — the quantity
+    the paper's §5 critical-path exclusion needs before any layout
+    exists.
+
+    The estimator is total: a combinational loop does not raise — the
+    gates stuck on it are reported in [loop_insts] and the nets they feed
+    keep unknown ([nan]) arrivals, so lint can report the loop {e and}
+    still time the rest of the design. *)
+
+type t = {
+  arrival : float array;
+      (** worst arrival per net, ps; [nan] when unknown (loop cone) *)
+  departure : float array;
+      (** worst downstream delay from the net to any endpoint (setup
+          included at capturing flip-flops); [nan] when unknown *)
+  path : float array;
+      (** [arrival + departure]: the longest path through the net *)
+  crit : float;   (** max finite [path]; 0 for a design with no paths *)
+  loop_insts : int list;
+      (** propagation gates never resolved by the topological pass — the
+          members (and downstream cone heads) of application-mode
+          combinational loops, in instance-id order *)
+  min_period : float;
+      (** smallest declared domain period, [infinity] if none *)
+}
+
+val estimate : Netlist.Design.t -> t
+
+val near_critical : t -> net:int -> margin_frac:float -> bool
+(** The longest path through [net] is within [margin_frac] (e.g. 0.05)
+    of the design's critical path. False for unknown nets. *)

@@ -1,0 +1,162 @@
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+module Json = Obs.Json
+
+type entry = { fingerprint : string; rule : string; reason : string }
+type t = { entries : entry list }
+
+let empty = { entries = [] }
+
+(* --- structural signatures: kinds, pin indices and directions only --- *)
+
+let driver_sig (d : Design.t) nid =
+  if nid < 0 then "-"
+  else
+    match (Design.net d nid).Design.driver with
+    | Design.No_driver -> "none"
+    | Design.Port_in _ -> "in"
+    | Design.Cell_pin (iid, pin) ->
+      Printf.sprintf "%s:%d" (Cell.kind_name (Design.inst d iid).Design.cell.Cell.kind) pin
+
+let sink_sigs (d : Design.t) (n : Design.net) =
+  let pins =
+    List.map
+      (fun (iid, pin) ->
+        Printf.sprintf "%s:%d"
+          (Cell.kind_name (Design.inst d iid).Design.cell.Cell.kind)
+          pin)
+      n.Design.sinks
+  in
+  let pins = if n.Design.out_port >= 0 then "out" :: pins else pins in
+  String.concat "," (List.sort String.compare pins)
+
+let net_sig d nid =
+  let n = Design.net d nid in
+  Printf.sprintf "net|%s|%s" (driver_sig d nid) (sink_sigs d n)
+
+let inst_sig d iid =
+  let i = Design.inst d iid in
+  let per_pin =
+    Array.to_list i.Design.conns
+    |> List.mapi (fun pin nid ->
+           if nid < 0 then "-"
+           else if pin < Array.length i.Design.cell.Cell.pins
+                   && i.Design.cell.Cell.pins.(pin).Stdcell.Pin.dir = Stdcell.Pin.Output
+           then Printf.sprintf "~%d" (List.length (Design.net d nid).Design.sinks)
+           else driver_sig d nid)
+  in
+  Printf.sprintf "inst|%s|d%d|%s" i.Design.cell.Cell.name i.Design.domain
+    (String.concat "," per_pin)
+
+let port_sig d pid =
+  let p = Design.port d pid in
+  let dir = match p.Design.dir with Design.In -> "in" | Design.Out -> "out" in
+  let bound =
+    if p.Design.pnet < 0 then "-"
+    else
+      match p.Design.dir with
+      | Design.In -> sink_sigs d (Design.net d p.Design.pnet)
+      | Design.Out -> driver_sig d p.Design.pnet
+  in
+  Printf.sprintf "port|%s|%s" dir bound
+
+let loc_sig d = function
+  | Diag.Net nid -> net_sig d nid
+  | Diag.Inst iid -> inst_sig d iid
+  | Diag.Port pid -> port_sig d pid
+  | Diag.Stage s -> "stage|" ^ s
+  | Diag.Design -> "design"
+
+let signature d (diag : Diag.t) =
+  Printf.sprintf "%s|%s|%s" diag.Diag.rule
+    (Diag.severity_name diag.Diag.severity)
+    (loc_sig d diag.Diag.loc)
+
+let hash s = Digest.to_hex (Digest.string s)
+
+(* occurrence index #k disambiguates structural twins; k counts in list
+   (= engine emission) order, which follows ids, not names *)
+let fingerprints d diags =
+  let seen = Hashtbl.create 32 in
+  List.map
+    (fun diag ->
+      let h = hash (signature d diag) in
+      let k = Option.value ~default:0 (Hashtbl.find_opt seen h) in
+      Hashtbl.replace seen h (k + 1);
+      (diag, Printf.sprintf "%s#%d" h k))
+    diags
+
+(* --- file io --- *)
+
+let to_json w =
+  Json.Obj
+    [ ("version", Json.Int 1);
+      ( "waivers",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [ ("fingerprint", Json.String e.fingerprint);
+                   ("rule", Json.String e.rule);
+                   ("reason", Json.String e.reason) ])
+             w.entries) ) ]
+
+let save path w = Json.write_file path (to_json w)
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match Json.parse text with
+    | Error msg -> Error (Printf.sprintf "%s: invalid JSON (%s)" path msg)
+    | Ok json -> (
+      match Json.member "version" json with
+      | Some (Json.Int 1) -> (
+        match Json.member "waivers" json with
+        | Some (Json.List items) -> (
+          let entry_of = function
+            | Json.Obj _ as o -> (
+              match (Json.member "fingerprint" o, Json.member "rule" o) with
+              | Some (Json.String fingerprint), Some (Json.String rule) ->
+                let reason =
+                  match Json.member "reason" o with
+                  | Some (Json.String s) -> s
+                  | _ -> ""
+                in
+                Ok { fingerprint; rule; reason }
+              | _ -> Error "waiver entry needs string fields fingerprint and rule")
+            | _ -> Error "waiver entry must be an object"
+          in
+          let rec all acc = function
+            | [] -> Ok { entries = List.rev acc }
+            | x :: rest -> (
+              match entry_of x with
+              | Ok e -> all (e :: acc) rest
+              | Error m -> Error (Printf.sprintf "%s: %s" path m))
+          in
+          all [] items)
+        | _ -> Error (Printf.sprintf "%s: missing waivers array" path))
+      | _ -> Error (Printf.sprintf "%s: missing or unsupported version" path)))
+
+let of_diags d diags ~reason =
+  { entries =
+      List.map
+        (fun (diag, fp) -> { fingerprint = fp; rule = diag.Diag.rule; reason })
+        (fingerprints d diags) }
+
+let apply w d diags =
+  let by_fp = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace by_fp e.fingerprint e) w.entries;
+  let used = Hashtbl.create 16 in
+  let active, waived =
+    List.partition_map
+      (fun (diag, fp) ->
+        if Hashtbl.mem by_fp fp then begin
+          Hashtbl.replace used fp ();
+          Right (diag, fp)
+        end
+        else Left (diag, fp))
+      (fingerprints d diags)
+  in
+  let stale = List.filter (fun e -> not (Hashtbl.mem used e.fingerprint)) w.entries in
+  (active, waived, stale)

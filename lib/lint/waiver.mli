@@ -1,0 +1,55 @@
+(** Content-addressed diagnostic waivers.
+
+    A waiver suppresses one known diagnostic without silencing its rule.
+    Each entry carries a fingerprint computed from the diagnostic's
+    {e structure} — rule id, severity, and a signature of the anchored
+    object built from cell kinds, pin indices and port directions, never
+    from instance/net/port names — so a waiver keeps matching after the
+    design is renamed. Structurally identical diagnostics (two floating
+    pins on twin gates) are told apart by a deterministic occurrence
+    index appended to the hash ([<hex>#<k>], in engine emission order).
+
+    File format (JSON, one object):
+    {v
+    { "version": 1,
+      "waivers": [
+        { "fingerprint": "3f2a...#0",
+          "rule": "struct.floating-input",
+          "reason": "tie cell arrives in the next ECO" } ] }
+    v} *)
+
+type entry = {
+  fingerprint : string;  (** occurrence-qualified hash, [<hex>#<k>] *)
+  rule : string;         (** advisory; shown when a waiver goes stale *)
+  reason : string;
+}
+
+type t = { entries : entry list }
+
+val empty : t
+
+val signature : Netlist.Design.t -> Diag.t -> string
+(** Pre-hash structural signature (exposed for tests: rename stability
+    is a property of this string). *)
+
+val fingerprints : Netlist.Design.t -> Diag.t list -> (Diag.t * string) list
+(** Occurrence-qualified fingerprint for every diagnostic, preserving
+    list order. *)
+
+val load : string -> (t, string) result
+(** Parse a waiver file; [Error] describes the first problem. *)
+
+val save : string -> t -> unit
+
+val of_diags : Netlist.Design.t -> Diag.t list -> reason:string -> t
+(** Baseline: waive everything currently reported. *)
+
+val apply :
+  t ->
+  Netlist.Design.t ->
+  Diag.t list ->
+  (Diag.t * string) list * (Diag.t * string) list * entry list
+(** [apply w d diags] is [(active, waived, stale)]: diagnostics no
+    waiver matched, diagnostics suppressed, and entries that matched
+    nothing (candidates for deletion). Both diagnostic lists carry
+    their occurrence-qualified fingerprints and keep emission order. *)

@@ -58,14 +58,14 @@ let create ?(lib = Stdcell.Library.default) design_name =
 let add_net t nname =
   let nid = Vec.length t.nets in
   let n = { nid; nname; driver = No_driver; sinks = []; out_port = -1 } in
-  ignore (Vec.push t.nets n);
+  let (_ : int) = Vec.push t.nets n in
   n
 
 let add_port t pname dir =
   let pid = Vec.length t.ports in
   let n = add_net t pname in
   let p = { pid; pname; dir; pnet = n.nid } in
-  ignore (Vec.push t.ports p);
+  let (_ : int) = Vec.push t.ports p in
   (match dir with
    | In -> n.driver <- Port_in pid
    | Out -> n.out_port <- pid);
@@ -75,7 +75,7 @@ let add_instance t ~name ~cell =
   let id = Vec.length t.insts in
   let npins = Array.length cell.Stdcell.Cell.pins in
   let i = { id; iname = name; cell; conns = Array.make npins (-1); domain = -1 } in
-  ignore (Vec.push t.insts i);
+  let (_ : int) = Vec.push t.insts i in
   i
 
 let add_domain t ~name ~period_ps ~clock_net =

@@ -119,6 +119,13 @@ let pp_verdict ppf v =
     v.violations;
   Format.fprintf ppf "@]"
 
+exception Invalid_baseline of string
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_baseline msg -> Some ("Perfgate.Invalid_baseline: " ^ msg)
+    | _ -> None)
+
 let check ~baseline_path ~current_path ~tolerance_pct =
   let read path =
     let ic = open_in_bin path in
@@ -127,6 +134,6 @@ let check ~baseline_path ~current_path ~tolerance_pct =
     close_in ic;
     match Json.parse s with
     | Ok doc -> doc
-    | Error msg -> failwith (Printf.sprintf "%s: invalid JSON: %s" path msg)
+    | Error msg -> raise (Invalid_baseline (Printf.sprintf "%s: invalid JSON: %s" path msg))
   in
   compare_docs ~baseline:(read baseline_path) ~current:(read current_path) ~tolerance_pct

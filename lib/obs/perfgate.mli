@@ -42,8 +42,12 @@ val gated_metrics : Json.t -> (string * direction * float) list
 
 val compare_docs : baseline:Json.t -> current:Json.t -> tolerance_pct:float -> verdict
 
+exception Invalid_baseline of string
+(** A perf snapshot file that exists but does not parse as JSON; the
+    payload names the file and the parse error. *)
+
 val check : baseline_path:string -> current_path:string -> tolerance_pct:float -> verdict
-(** Read both files and compare. Raises [Failure] on unreadable or
-    invalid JSON. *)
+(** Read both files and compare. Raises [Sys_error] on an unreadable
+    file and {!Invalid_baseline} on invalid JSON. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

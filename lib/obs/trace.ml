@@ -118,10 +118,10 @@ let with_span ?attrs ~name f =
     let t = enter ?attrs ~name () in
     match f () with
     | v ->
-      ignore (stop t);
+      let (_ : float) = stop t in
       v
     | exception e ->
-      ignore (stop ~error:(Printexc.to_string e) t);
+      let (_ : float) = stop ~error:(Printexc.to_string e) t in
       raise e
   end
 

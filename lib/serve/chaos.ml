@@ -17,7 +17,8 @@ let with_daemon ?dir ?(capacity = 4) f =
   Fun.protect
     ~finally:(fun () ->
       Daemon.drain t;
-      ignore (Daemon.wait t))
+      let (_ : int) = Daemon.wait t in
+      ())
     (fun () -> f socket_path)
 
 (* scenarios use a deliberately tiny spec so drain stays fast *)

@@ -12,11 +12,12 @@ type config = {
   metrics_file : string option;
   prom_file : string option;
   verbose : bool;
+  lint : bool;
 }
 
 let default_config ~socket_path =
   { socket_path; cache_dir = None; jobs = 1; queue_capacity = 64;
-    metrics_file = None; prom_file = None; verbose = false }
+    metrics_file = None; prom_file = None; verbose = false; lint = false }
 
 (* ---- service metrics ---- *)
 
@@ -350,8 +351,8 @@ let run_levels t (job : job) spec ~tamper =
       in
       let g =
         Experiment.run_one_guarded ?pool:t.pool ?cache:t.cache ~policy:s.Protocol.policy
-          ?tamper ~cancel:job.j_cancel ~on_stage ~with_atpg:s.Protocol.with_atpg spec
-          ~tp_pct
+          ?tamper ~cancel:job.j_cancel ~on_stage ~lint:t.cfg.lint
+          ~with_atpg:s.Protocol.with_atpg spec ~tp_pct
       in
       let failed = g.Experiment.g_report.Guard.result = None in
       if failed && s.Protocol.policy = Guard.Fail_fast then List.rev (g :: acc)
@@ -593,8 +594,9 @@ let wait t =
   flush_telemetry t;
   (* a signal-initiated death leaves a post-mortem; a programmatic drain
      is a clean exit and leaves the flight recorder alone *)
-  if Atomic.get t.signalled then
-    ignore (Obs.Recorder.dump ~reason:"signal-drain");
+  (if Atomic.get t.signalled then
+     let (_ : bool) = Obs.Recorder.dump ~reason:"signal-drain" in
+     ());
   Obs.Log.info "serve: drained (%d completed, %d failed, %d cancelled)"
     (Obs.Metrics.value m_completed) (Obs.Metrics.value m_failed)
     (Obs.Metrics.value m_cancelled);

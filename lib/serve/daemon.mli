@@ -42,6 +42,10 @@ type config = {
       (** Prometheus text exposition, same atomic once-a-second cadence
           — point a node_exporter textfile collector (or a test) at it *)
   verbose : bool;
+  lint : bool;
+      (** pre-flight every job's generated design through the lint gate
+          ({!Flow.Pipeline.preflight}); a rejected design surfaces as a
+          degraded level with error class ["lint-failed"] *)
 }
 
 val default_config : socket_path:string -> config

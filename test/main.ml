@@ -23,4 +23,5 @@ let () =
       ("par", Test_par.suite);
       ("cache", Test_cache.suite);
       ("serve", Test_serve.suite);
-      ("telemetry", Test_telemetry.suite) ]
+      ("telemetry", Test_telemetry.suite);
+      ("lint", Test_lint.suite) ]

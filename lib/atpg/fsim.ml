@@ -8,7 +8,15 @@ type t = {
   dirty : bool array;         (* by net id *)
   touched : int Stack.t;
   scheduled : bool array;     (* by gate index *)
-  buckets : int list array;   (* gates to process, by level *)
+  (* per-fault event queue, allocation-free: every scheduled gate is
+     recorded once in [sched_buf] (for O(touched) cleanup) and threaded
+     into its level's intrusive list via [bucket_head]/[bucket_next] --
+     the cons cells the historical [int list array] built and dropped per
+     fault dominated minor-heap traffic across a run *)
+  sched_buf : int array;      (* gates scheduled for the current fault *)
+  mutable sched_len : int;
+  bucket_head : int array;    (* by level; -1 = empty *)
+  bucket_next : int array;    (* by gate index *)
   max_level : int;
   ins_buf : int64 array;      (* scratch for gate inputs, max arity *)
 }
@@ -32,7 +40,10 @@ let create (m : Cmodel.t) =
     dirty = Array.make nn false;
     touched = Stack.create ();
     scheduled = Array.make (Array.length m.Cmodel.gates) false;
-    buckets = Array.make (max_level + 2) [];
+    sched_buf = Array.make (max 1 (Array.length m.Cmodel.gates)) 0;
+    sched_len = 0;
+    bucket_head = Array.make (max_level + 2) (-1);
+    bucket_next = Array.make (max 1 (Array.length m.Cmodel.gates)) (-1);
     max_level;
     ins_buf = Array.make max_arity 0L }
 
@@ -72,49 +83,56 @@ let reset t =
     t.dirty.(Stack.pop t.touched) <- false
   done
 
-let schedule t scheduled_list gi =
+let schedule t gi =
   if not t.scheduled.(gi) then begin
     t.scheduled.(gi) <- true;
-    scheduled_list := gi :: !scheduled_list;
+    t.sched_buf.(t.sched_len) <- gi;
+    t.sched_len <- t.sched_len + 1;
     let level = t.m.Cmodel.gates.(gi).Cmodel.g_level in
-    t.buckets.(level) <- gi :: t.buckets.(level)
+    t.bucket_next.(gi) <- t.bucket_head.(level);
+    t.bucket_head.(level) <- gi
   end
 
-let schedule_fanout t scheduled_list n =
-  List.iter (fun (gi, _) -> schedule t scheduled_list gi) t.m.Cmodel.fanout.(n)
+let schedule_fanout t n =
+  List.iter (fun (gi, _) -> schedule t gi) t.m.Cmodel.fanout.(n)
 
 (* Propagate pending events level by level. [forced] optionally overrides
    one gate input (branch fault injection). Returns the accumulated
    detection mask. *)
-let propagate t scheduled_list ~forced =
+let propagate t ~forced =
   let detected = ref 0L in
   for level = 0 to t.max_level + 1 do
-    let gates = t.buckets.(level) in
-    t.buckets.(level) <- [];
-    List.iter
-      (fun gi ->
-        let g = t.m.Cmodel.gates.(gi) in
-        let arity = Array.length g.Cmodel.g_ins in
-        for i = 0 to arity - 1 do
-          t.ins_buf.(i) <- effective t g.Cmodel.g_ins.(i)
-        done;
-        (match forced with
-         | Some (fgi, pos, word) when fgi = gi -> t.ins_buf.(pos) <- word
-         | _ -> ());
-        let out_f = Cell.eval64 g.Cmodel.g_kind t.ins_buf in
-        let out = g.Cmodel.g_out in
-        if out_f <> effective t out then begin
-          set_faulty t out out_f;
-          if t.m.Cmodel.is_observed.(out) then
-            detected := Int64.logor !detected (Int64.logxor out_f t.val_good.(out));
-          schedule_fanout t scheduled_list out
-        end)
-      gates
+    (* detach the level's chain before walking it; fanout scheduling only
+       ever targets strictly higher levels (combinational levelization) *)
+    let gi = ref t.bucket_head.(level) in
+    t.bucket_head.(level) <- -1;
+    while !gi >= 0 do
+      let g = t.m.Cmodel.gates.(!gi) in
+      let arity = Array.length g.Cmodel.g_ins in
+      for i = 0 to arity - 1 do
+        t.ins_buf.(i) <- effective t g.Cmodel.g_ins.(i)
+      done;
+      (match forced with
+       | Some (fgi, pos, word) when fgi = !gi -> t.ins_buf.(pos) <- word
+       | _ -> ());
+      let out_f = Cell.eval64 g.Cmodel.g_kind t.ins_buf in
+      let out = g.Cmodel.g_out in
+      if out_f <> effective t out then begin
+        set_faulty t out out_f;
+        if t.m.Cmodel.is_observed.(out) then
+          detected := Int64.logor !detected (Int64.logxor out_f t.val_good.(out));
+        schedule_fanout t out
+      end;
+      gi := t.bucket_next.(!gi)
+    done
   done;
   !detected
 
-let cleanup t scheduled_list =
-  List.iter (fun gi -> t.scheduled.(gi) <- false) !scheduled_list;
+let cleanup t =
+  for i = 0 to t.sched_len - 1 do
+    t.scheduled.(t.sched_buf.(i)) <- false
+  done;
+  t.sched_len <- 0;
   reset t
 
 let stuck_word stuck = if stuck then -1L else 0L
@@ -130,11 +148,10 @@ let detect_mask t (f : Fault.fault) =
     if diff = 0L then 0L
     else if t.m.Cmodel.is_observed.(n) then diff
     else begin
-      let scheduled_list = ref [] in
       set_faulty t n sw;
-      schedule_fanout t scheduled_list n;
-      let detected = propagate t scheduled_list ~forced:None in
-      cleanup t scheduled_list;
+      schedule_fanout t n;
+      let detected = propagate t ~forced:None in
+      cleanup t;
       detected
     end
   | Fault.Branch (gi, pos) ->
@@ -143,10 +160,9 @@ let detect_mask t (f : Fault.fault) =
     let diff = Int64.logxor t.val_good.(n) sw in
     if diff = 0L then 0L
     else begin
-      let scheduled_list = ref [] in
-      schedule t scheduled_list gi;
-      let detected = propagate t scheduled_list ~forced:(Some (gi, pos, sw)) in
-      cleanup t scheduled_list;
+      schedule t gi;
+      let detected = propagate t ~forced:(Some (gi, pos, sw)) in
+      cleanup t;
       detected
     end
 

@@ -37,11 +37,14 @@ module Extract = Layout.Extract
 module Render = Layout.Render
 module Defout = Layout.Defout
 module Sta_analysis = Sta.Analysis
+module Tgraph = Sta.Tgraph
+module Incremental = Sta.Incremental
 module Slack = Sta.Slack
 module Liberty = Stdcell.Liberty
 module Iscas = Circuits.Iscas
 module Pipeline = Flow.Pipeline
 module Experiment = Flow.Experiment
+module Retime = Flow.Retime
 module Report = Flow.Report
 module Guard = Flow.Guard
 module Inject = Flow.Inject

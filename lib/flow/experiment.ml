@@ -29,7 +29,8 @@ type row = {
   result : Pipeline.result;
 }
 
-let options_of ?pool ?cache ?cancel ?(lint = false) spec ~with_atpg ~tp_pct =
+let options_of ?pool ?cache ?cancel ?(lint = false)
+    ?(sta_mode = Pipeline.Full_sta) spec ~with_atpg ~tp_pct =
   { Pipeline.default_options with
     Pipeline.tp_percent = float_of_int tp_pct;
     chain_config = spec.chain_config;
@@ -38,7 +39,8 @@ let options_of ?pool ?cache ?cancel ?(lint = false) spec ~with_atpg ~tp_pct =
     pool;
     cache;
     cancel;
-    lint }
+    lint;
+    sta_mode }
 
 (* design generation is level-invariant: with a cache every level of the
    fan-out shares one generator run (the store single-flights concurrent
@@ -54,10 +56,10 @@ let generate ?cache spec =
     in
     Cache.Store.memo store ~key mk
 
-let run_one ?pool ?cache ?lint ?(with_atpg = true) spec ~tp_pct =
+let run_one ?pool ?cache ?lint ?sta_mode ?(with_atpg = true) spec ~tp_pct =
   let d = generate ?cache spec in
   let result =
-    Pipeline.run ~options:(options_of ?pool ?cache ?lint spec ~with_atpg ~tp_pct) d
+    Pipeline.run ~options:(options_of ?pool ?cache ?lint ?sta_mode spec ~with_atpg ~tp_pct) d
   in
   { spec; tp_pct; result }
 
@@ -72,10 +74,11 @@ let fan_levels pool tp_levels f =
     Array.to_list (Par.Pool.parallel_map p ~n:(Array.length arr) (fun i -> f arr.(i)))
   | _ -> List.map f tp_levels
 
-let sweep ?pool ?cache ?lint ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ])
-    ?scale circuit =
+let sweep ?pool ?cache ?lint ?sta_mode ?(with_atpg = true)
+    ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
   let spec = spec_for ?scale circuit in
-  fan_levels pool tp_levels (fun tp_pct -> run_one ?pool ?cache ?lint ~with_atpg spec ~tp_pct)
+  fan_levels pool tp_levels (fun tp_pct ->
+      run_one ?pool ?cache ?lint ?sta_mode ~with_atpg spec ~tp_pct)
 
 type guarded_row = {
   g_spec : spec;
@@ -84,10 +87,10 @@ type guarded_row = {
 }
 
 let run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage ?lint
-    ?(with_atpg = true) spec ~tp_pct =
+    ?sta_mode ?(with_atpg = true) spec ~tp_pct =
   let report =
     Guard.run ?policy ?retries ?tamper ?on_stage ~circuit:spec.circuit
-      ~options:(options_of ?pool ?cache ?cancel ?lint spec ~with_atpg ~tp_pct)
+      ~options:(options_of ?pool ?cache ?cancel ?lint ?sta_mode spec ~with_atpg ~tp_pct)
       (fun () -> generate ?cache spec)
   in
   { g_spec = spec; g_tp_pct = tp_pct; g_report = report }
@@ -95,11 +98,11 @@ let run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage ?lin
 (* guarded sweep: a failed level becomes a degraded row instead of killing
    the whole experiment matrix *)
 let sweep_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage ?lint
-    ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
+    ?sta_mode ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
   let spec = spec_for ?scale circuit in
   fan_levels pool tp_levels (fun tp_pct ->
       run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage ?lint
-        ~with_atpg spec ~tp_pct)
+        ?sta_mode ~with_atpg spec ~tp_pct)
 
 let completed_rows grows =
   List.filter_map
@@ -111,6 +114,99 @@ let completed_rows grows =
 
 let degraded_rows grows =
   List.filter (fun g -> g.g_report.Guard.result = None) grows
+
+(* ---- ECO sweep: one layout, one compiled timing graph, incremental TP
+   levels ----
+
+   The classic [sweep] builds every TP% level from scratch — six stages
+   per level, full route/extract/STA each time. The ECO sweep lays out the
+   0% baseline once, compiles its timing graph once, then walks the levels
+   by splicing in only the *additional* test points each level asks for
+   and worklist-retiming their cones. What it measures is the layout
+   question the paper actually poses — what does each extra point cost in
+   timing on this placement — without paying a full flow per level. *)
+
+type eco_row = {
+  e_tp_pct : int;
+  e_tp_count : int;              (* cumulative TPs in the design *)
+  e_wns : float;
+  e_tcp : float;                 (* worst critical-path delay, eq. 3 total *)
+  e_insts_retimed : int;         (* cone work this level (all its TPs) *)
+}
+
+type eco_sweep = {
+  eco_baseline : row;            (* the 0% full flow the ECO starts from *)
+  eco_rows : eco_row list;
+  eco_ctx : Retime.t;            (* live context, usable for further ECO *)
+}
+
+(* candidate nets ranked hardest-to-detect first (COP), the same signal
+   Tpi.Select batches on; ranked once on the baseline netlist *)
+let eco_candidates (d : Netlist.Design.t) =
+  let module Design = Netlist.Design in
+  let module Cell = Stdcell.Cell in
+  let m = Netlist.Cmodel.build d in
+  let cop = Testability.Cop.compute m in
+  let cand = ref [] in
+  for n = 0 to m.Netlist.Cmodel.num_nets - 1 do
+    let net = Design.net d n in
+    let driver_is_tsff =
+      match net.Design.driver with
+      | Design.Cell_pin (iid, _) -> (Design.inst d iid).Design.cell.Cell.kind = Cell.Tsff
+      | _ -> false
+    in
+    if
+      m.Netlist.Cmodel.modeled.(n)
+      && (not m.Netlist.Cmodel.is_source.(n))
+      && net.Design.driver <> Design.No_driver
+      && (not driver_is_tsff)
+      && net.Design.sinks <> []
+    then cand := (Testability.Cop.detectability cop n, n) :: !cand
+  done;
+  List.sort compare !cand |> List.map snd
+
+let worst_tcp_of (sta : Sta.Analysis.t) =
+  match sta.Sta.Analysis.worst with Some p -> p.Sta.Analysis.t_cp | None -> 0.0
+
+let sweep_eco ?pool ?cache ?lint ?(tp_levels = [ 1; 2; 3; 4; 5 ]) ?scale circuit =
+  let spec = spec_for ?scale circuit in
+  let d = generate ?cache spec in
+  let options =
+    options_of ?pool ?cache ?lint ~sta_mode:Pipeline.Incremental_sta spec
+      ~with_atpg:false ~tp_pct:0
+  in
+  let result = Pipeline.run ~options d in
+  let baseline = { spec; tp_pct = 0; result } in
+  let ctx =
+    Retime.create result.Pipeline.placement result.Pipeline.route result.Pipeline.rc
+  in
+  let ffs = List.length (Netlist.Design.ffs result.Pipeline.design) in
+  let candidates = ref (eco_candidates result.Pipeline.design) in
+  let inserted = ref 0 in
+  let rows =
+    List.map
+      (fun tp_pct ->
+        let target =
+          int_of_float (Float.round (float_of_int (tp_pct * ffs) /. 100.0))
+        in
+        let retimed = ref 0 in
+        while !inserted < target && !candidates <> [] do
+          let net = List.hd !candidates in
+          candidates := List.tl !candidates;
+          let _, stats = Retime.insert_tp ctx ~net in
+          retimed := !retimed + stats.Sta.Incremental.insts_evaluated;
+          incr inserted
+        done;
+        let sta = Retime.analysis ctx in
+        let slack = Sta.Tgraph.slack (Retime.tgraph ctx) in
+        { e_tp_pct = tp_pct;
+          e_tp_count = !inserted;
+          e_wns = slack.Sta.Slack.wns;
+          e_tcp = worst_tcp_of sta;
+          e_insts_retimed = !retimed })
+      (List.sort compare tp_levels)
+  in
+  { eco_baseline = baseline; eco_rows = rows; eco_ctx = ctx }
 
 (* §5: exclude nets on near-critical paths from TPI. The baseline layout's
    STA identifies the worst paths per domain; nets within the slack margin

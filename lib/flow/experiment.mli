@@ -25,6 +25,7 @@ val run_one :
   ?pool:Par.Pool.t ->
   ?cache:Cache.Store.t ->
   ?lint:bool ->
+  ?sta_mode:Pipeline.sta_mode ->
   ?with_atpg:bool ->
   spec ->
   tp_pct:int ->
@@ -37,6 +38,7 @@ val sweep :
   ?pool:Par.Pool.t ->
   ?cache:Cache.Store.t ->
   ?lint:bool ->
+  ?sta_mode:Pipeline.sta_mode ->
   ?with_atpg:bool ->
   ?tp_levels:int list ->
   ?scale:float ->
@@ -52,6 +54,46 @@ val sweep :
     ({!Pipeline.cached_stage}), so a repeated sweep is served almost
     entirely from cache — still byte-identical to a cold, cache-less
     run. *)
+
+(** {1 ECO sweep}
+
+    One layout, one compiled timing graph, incremental TP levels: the 0%
+    baseline runs the full flow once (under {!Pipeline.Incremental_sta}),
+    then each level splices in only its {e additional} test points as
+    post-layout ECOs — clocked from CTS leaf buffers, legalized in place,
+    re-routed per net, worklist-retimed per cone ({!Retime}) — instead of
+    re-running six stages per level. *)
+
+type eco_row = {
+  e_tp_pct : int;
+  e_tp_count : int;       (** cumulative test points in the design *)
+  e_wns : float;          (** worst negative slack at this level *)
+  e_tcp : float;          (** worst critical-path delay (eq. 3 total) *)
+  e_insts_retimed : int;  (** instances re-evaluated for this level's TPs *)
+}
+
+type eco_sweep = {
+  eco_baseline : row;
+  eco_rows : eco_row list;
+  eco_ctx : Retime.t;  (** still live: further ECO edits continue from it *)
+}
+
+val sweep_eco :
+  ?pool:Par.Pool.t ->
+  ?cache:Cache.Store.t ->
+  ?lint:bool ->
+  ?tp_levels:int list ->
+  ?scale:float ->
+  string ->
+  eco_sweep
+(** Default levels [1;2;3;4;5] (ascending; levels are cumulative).
+    Candidate nets are ranked hardest-to-detect first by COP on the
+    baseline netlist, the same signal {!Tpi.Select} batches on. Timing at
+    every level is exact — each ECO leaves the context byte-identical to a
+    from-scratch route/extract/STA of the same netlist — but the layouts
+    differ from {!sweep}'s by construction: test points are spliced into a
+    finished placement rather than placed before it, which is precisely
+    the ECO-style flow whose timing cost the rows measure. *)
 
 (** {1 Guarded experiments}
 
@@ -74,6 +116,7 @@ val run_one_guarded :
   ?cancel:Cancel.t ->
   ?on_stage:(Guard.stage -> Guard.stage_status -> unit) ->
   ?lint:bool ->
+  ?sta_mode:Pipeline.sta_mode ->
   ?with_atpg:bool ->
   spec ->
   tp_pct:int ->
@@ -88,6 +131,7 @@ val sweep_guarded :
   ?cancel:Cancel.t ->
   ?on_stage:(Guard.stage -> Guard.stage_status -> unit) ->
   ?lint:bool ->
+  ?sta_mode:Pipeline.sta_mode ->
   ?with_atpg:bool ->
   ?tp_levels:int list ->
   ?scale:float ->

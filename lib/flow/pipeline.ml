@@ -1,5 +1,7 @@
 module Design = Netlist.Design
 
+type sta_mode = Full_sta | Incremental_sta
+
 type options = {
   tp_percent : float;
   chain_config : Scan.Chains.config;
@@ -12,6 +14,7 @@ type options = {
   cache : Cache.Store.t option;
   cancel : Cancel.t option;
   lint : bool;
+  sta_mode : sta_mode;
 }
 
 let default_options =
@@ -25,7 +28,8 @@ let default_options =
     pool = None;
     cache = None;
     cancel = None;
-    lint = false }
+    lint = false;
+    sta_mode = Full_sta }
 
 type result = {
   design : Netlist.Design.t;
@@ -43,6 +47,8 @@ type result = {
   route : Layout.Route.t;
   rc : Layout.Extract.net_rc array;
   sta : Sta.Analysis.t;
+  tgraph : Sta.Tgraph.t option;
+  lint_report : Lint.Engine.report option;
   stats : Netlist.Stats.t;
   drc : Layout.Drc.report;
 }
@@ -69,6 +75,11 @@ type state = {
   mutable s_route : Layout.Route.t option;
   mutable s_rc : Layout.Extract.net_rc array option;
   mutable s_sta : Sta.Analysis.t option;
+  (* live compiled graph (Incremental_sta only); deliberately outside the
+     stage-cache snapshot — it is a derived accelerator, cheap to recompile
+     and not Marshal-friendly to share across processes *)
+  mutable s_tgraph : Sta.Tgraph.t option;
+  mutable s_lint : Lint.Engine.report option;
 }
 
 let init ?(options = default_options) (d : Design.t) =
@@ -87,7 +98,9 @@ let init ?(options = default_options) (d : Design.t) =
     s_filler = None;
     s_route = None;
     s_rc = None;
-    s_sta = None }
+    s_sta = None;
+    s_tgraph = None;
+    s_lint = None }
 
 let need what = function
   | Some v -> v
@@ -176,7 +189,40 @@ let stage_sta st =
   stage_span st "sta" @@ fun () ->
   let placement = need "placement" st.s_placement in
   let rc = need "rc" st.s_rc in
-  st.s_sta <- Some (Sta.Analysis.run ?pool:st.s_options.pool placement rc)
+  match st.s_options.sta_mode with
+  | Full_sta -> st.s_sta <- Some (Sta.Analysis.run ?pool:st.s_options.pool placement rc)
+  | Incremental_sta ->
+    (* compile once, propagate, keep the graph alive for downstream ECO
+       passes; the report is byte-identical to [Analysis.run] (same float
+       ops, same sta.* counters — pinned by the incremental suite) *)
+    let tg = Sta.Tgraph.compile st.s_design rc in
+    Sta.Tgraph.propagate ?pool:st.s_options.pool tg;
+    st.s_tgraph <- Some tg;
+    let a = Sta.Tgraph.analysis tg in
+    st.s_sta <- Some a;
+    (* with the graph still warm, the TPI/timing lint pack gets real
+       post-layout artifacts for free: the slack report and the
+       near-critical net set fall out of the arrival/required arrays
+       instead of the zero-wireload estimate the pack falls back to *)
+    if st.s_options.lint then begin
+      let tcp =
+        match a.Sta.Analysis.worst with
+        | Some p -> p.Sta.Analysis.t_cp
+        | None -> 0.0
+      in
+      let margin_ps = Lint.Tpitiming.near_critical_margin *. tcp in
+      let arts =
+        { Lint.Rule.no_artifacts with
+          Lint.Rule.slack = Some (Sta.Tgraph.slack tg);
+          crit_nets = Some (Sta.Tgraph.critical_nets tg ~margin_ps) }
+      in
+      let rules =
+        match Lint.Engine.find_pack Lint.Tpitiming.pack_name with
+        | Some rs -> rs
+        | None -> []
+      in
+      st.s_lint <- Some (Lint.Engine.run ~arts ~rules st.s_design)
+    end
 
 let finish st =
   { design = st.s_design;
@@ -194,6 +240,8 @@ let finish st =
     route = need "route" st.s_route;
     rc = need "rc" st.s_rc;
     sta = need "sta" st.s_sta;
+    tgraph = st.s_tgraph;
+    lint_report = st.s_lint;
     stats = Netlist.Stats.compute st.s_design;
     drc = need "drc" st.s_drc }
 
@@ -268,10 +316,11 @@ let restore st c =
 let cache_version = "tpi-stage-cache-v1"
 
 (* every option a stage outcome can depend on; the pool (execution layout
-   only, §6.1), the cache itself and the cancellation token (which only
-   decides whether the next stage starts, never what it computes) are
-   deliberately excluded. Marshal of this immutable tuple of scalars and
-   plain variants is byte-stable. *)
+   only, §6.1), the cache itself, the cancellation token (which only
+   decides whether the next stage starts, never what it computes) and
+   [sta_mode] (both modes produce byte-identical stage products, so cache
+   entries are valid across them) are deliberately excluded. Marshal of
+   this immutable tuple of scalars and plain variants is byte-stable. *)
 let options_fingerprint o =
   Digest.to_hex
     (Digest.string

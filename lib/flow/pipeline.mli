@@ -12,6 +12,14 @@
 
     One call = one layout, generated from scratch, as in the paper. *)
 
+type sta_mode =
+  | Full_sta         (** step 6 runs {!Sta.Analysis.run} directly *)
+  | Incremental_sta
+      (** step 6 compiles a flat {!Sta.Tgraph}, propagates it (same float
+          ops, same [sta.*] counters, byte-identical report) and keeps it
+          alive in [result.tgraph] so downstream ECO passes — timing fix,
+          TP% re-sweeps — can worklist-retime instead of re-running STA *)
+
 type options = {
   tp_percent : float;              (** test points as % of flip-flops (0-5) *)
   chain_config : Scan.Chains.config;
@@ -43,6 +51,10 @@ type options = {
           {!Lint.Engine.Lint_failed} (error class ["lint-failed"] under
           {!Guard}). Read-only over the design, so — like the pool, cache
           and cancel token — excluded from stage-cache keys *)
+  sta_mode : sta_mode;
+      (** how step 6 computes the (identical) timing report; excluded from
+          stage-cache keys for the same reason as the pool. Default
+          {!Full_sta} *)
 }
 
 val default_options : options
@@ -63,6 +75,15 @@ type result = {
   route : Layout.Route.t;
   rc : Layout.Extract.net_rc array;
   sta : Sta.Analysis.t;
+  tgraph : Sta.Tgraph.t option;
+      (** the live compiled timing graph when the sta stage actually ran
+          under {!Incremental_sta} ([None] in {!Full_sta} mode or when the
+          stage was restored from the cache) *)
+  lint_report : Lint.Engine.report option;
+      (** post-layout run of the TPI/timing lint pack, fed the real slack
+          report and near-critical net set straight off the compiled
+          graph; only under [lint = true] + {!Incremental_sta} (the
+          pre-flight lint gate runs in every mode) *)
   stats : Netlist.Stats.t;  (** post-flow netlist statistics *)
   drc : Layout.Drc.report;  (** max-capacitance fixes applied before routing *)
 }
@@ -103,6 +124,10 @@ type state = {
   mutable s_route : Layout.Route.t option;
   mutable s_rc : Layout.Extract.net_rc array option;
   mutable s_sta : Sta.Analysis.t option;
+  mutable s_tgraph : Sta.Tgraph.t option;
+      (** {!Incremental_sta} only; outside the cache snapshot *)
+  mutable s_lint : Lint.Engine.report option;
+      (** lint + {!Incremental_sta} only; outside the cache snapshot *)
 }
 
 val init : ?options:options -> Netlist.Design.t -> state

@@ -1,0 +1,239 @@
+(* Incremental ECO re-timing context.
+
+   Owns the mutable post-layout state — placement, per-net routes,
+   per-net parasitics, the compiled flat timing graph — and threads each
+   netlist edit through the minimal physical update: re-place only new
+   cells (ECO legalization), re-route and re-extract only the nets whose
+   terminals moved, then worklist-retime only the dirtied cone. Because
+   routing and extraction are pure per-net maps and Incremental.retime is
+   exact, the state after any edit sequence is byte-identical to tearing
+   the layout down and re-running Route.run + Extract.run + Analysis.run
+   on the same mutated design — the property the incremental suite and
+   the QCheck random-ECO property pin down. *)
+
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+module Place = Layout.Place
+module Route = Layout.Route
+module Extract = Layout.Extract
+
+let m_edits = Obs.Metrics.counter "sta.incremental.eco_edits"
+
+type t = {
+  pl : Place.t;
+  tg : Sta.Tgraph.t;
+  mutable routes : Route.net_route option array;
+  mutable rc : Extract.net_rc array;
+  mutable next_tp : int;
+  mutable leaf_clocks : (int * int) list;  (* (domain, leaf clock net) *)
+  mutable last_stats : Sta.Incremental.stats option;
+  mutable edits : int;
+}
+
+(* CTS leaf buffers: clock buffers whose output net feeds sequential
+   clock pins directly. An ECO TSFF hangs off the nearest one so the
+   tree above — and every other leaf group's latency — stays untouched. *)
+let find_leaf_clocks (d : Design.t) =
+  let leaves = ref [] in
+  Design.iter_insts d (fun b ->
+      if b.Design.cell.Cell.kind = Cell.Clkbuf then begin
+        match Design.net_of_output d b with
+        | -1 -> ()
+        | o ->
+          let dom = ref (-1) in
+          List.iter
+            (fun (sid, pin) ->
+              if !dom < 0 then begin
+                let s = Design.inst d sid in
+                if s.Design.cell.Cell.sequential
+                   && Cell.clock_pin s.Design.cell = Some pin then
+                  dom := s.Design.domain
+              end)
+            (Design.net d o).Design.sinks;
+          if !dom >= 0 then leaves := (!dom, b.Design.id, o) :: !leaves
+      end);
+  !leaves
+
+let create ?config (pl : Place.t) (rt : Route.t) (rc : Extract.net_rc array) =
+  let d = pl.Place.design in
+  let tg = Sta.Tgraph.compile ?config d rc in
+  Sta.Tgraph.propagate tg;
+  let next_tp = ref 0 in
+  Design.iter_insts d (fun i ->
+      if i.Design.cell.Cell.kind = Cell.Tsff then incr next_tp);
+  { pl;
+    tg;
+    routes = Array.copy rt.Route.routes;
+    rc = Array.copy rc;
+    next_tp = !next_tp;
+    leaf_clocks = List.map (fun (dom, _, o) -> (dom, o)) (find_leaf_clocks d);
+    last_stats = None;
+    edits = 0 }
+
+let design t = t.pl.Place.design
+let tgraph t = t.tg
+let placement t = t.pl
+let rc t = t.rc
+let last_stats t = t.last_stats
+
+let analysis t = Sta.Tgraph.analysis t.tg
+
+let route t = Route.rebuild_stats t.pl t.routes
+
+(* nearest leaf clock net of a domain; falls back to the domain's root
+   clock net (pre-CTS designs wire flip-flops to the root directly) *)
+let leaf_clock_for t ~dom ~near =
+  let d = design t in
+  let best = ref None in
+  List.iter
+    (fun (ldom, lnet) ->
+      if ldom = dom then
+        match (Design.net d lnet).Design.driver with
+        | Design.Cell_pin (bid, _) when Place.is_placed t.pl bid ->
+          let p = Place.position t.pl bid in
+          let dist = Geom.Point.manhattan p near in
+          (match !best with
+           | Some (bd, _) when bd <= dist -> ()
+           | _ -> best := Some (dist, lnet))
+        | _ -> ())
+    t.leaf_clocks;
+  match !best with Some (_, lnet) -> Some lnet | None -> None
+
+(* a point to legalize a new cell near: the edited net's driver, else its
+   first placed sink, else the core centre *)
+let anchor t nid =
+  let d = design t in
+  match Layout.Pinpos.of_driver t.pl (Design.net d nid) with
+  | Some p -> p
+  | None ->
+    let n = Design.net d nid in
+    let rec first = function
+      | [] ->
+        let core = t.pl.Place.fp.Layout.Floorplan.core in
+        Geom.Point.make
+          ((core.Geom.Rect.lx +. core.Geom.Rect.ux) /. 2.0)
+          ((core.Geom.Rect.ly +. core.Geom.Rect.uy) /. 2.0)
+      | (sid, _) :: rest ->
+        if Place.is_placed t.pl sid then Place.position t.pl sid else first rest
+    in
+    first n.Design.sinks
+
+(* absorb one completed design edit: legalize any new cells, mirror the
+   topology into the graph, re-route/re-extract the touched nets, retime
+   the cone. [old_ni]/[old_nn]/[old_np] are the design sizes before the
+   edit; [nets]/[insts] the pre-existing nets and instances it touched. *)
+let refresh t ~old_ni ~old_nn ~old_np ~near ~nets ~insts =
+  let d = design t in
+  let nn = Design.num_nets d and ni = Design.num_insts d in
+  (* port pin positions are a function of the total port count (they share
+     the core perimeter), so an edit that adds a port — the first TP's
+     test_se/test_tr — moves every existing port's pin and with it the
+     route of every port-connected net *)
+  let nets =
+    if Util.Vec.length d.Design.ports = old_np then nets
+    else begin
+      let acc = ref nets in
+      for nid = 0 to old_nn - 1 do
+        let n = Design.net d nid in
+        let port_connected =
+          (match n.Design.driver with Design.Port_in _ -> true | _ -> false)
+          || n.Design.out_port >= 0
+        in
+        if port_connected && not (List.mem nid !acc) then acc := nid :: !acc
+      done;
+      !acc
+    end
+  in
+  (* any cell the edit created that it did not place itself *)
+  for iid = old_ni to ni - 1 do
+    if not (Place.is_placed t.pl iid) then Layout.Eco.add_cell t.pl ~inst:iid ~near
+  done;
+  Sta.Tgraph.sync_topology t.tg ~nets ~insts;
+  (* grow the per-net mirrors *)
+  if nn > Array.length t.routes then begin
+    let routes = Array.make nn None in
+    Array.blit t.routes 0 routes 0 old_nn;
+    t.routes <- routes;
+    let rc = Array.make nn t.rc.(0) in
+    Array.blit t.rc 0 rc 0 old_nn;
+    t.rc <- rc
+  end;
+  let dirty = ref [] in
+  for nid = nn - 1 downto old_nn do
+    dirty := nid :: !dirty
+  done;
+  List.iter (fun nid -> if not (List.mem nid !dirty) then dirty := nid :: !dirty) nets;
+  List.iter
+    (fun nid ->
+      let n = Design.net d nid in
+      t.routes.(nid) <- Route.route_net t.pl n;
+      t.rc.(nid) <- Extract.extract_net t.pl t.routes.(nid) n;
+      Sta.Tgraph.update_rc t.tg nid t.rc.(nid))
+    !dirty;
+  let stats = Sta.Incremental.retime t.tg ~dirty_nets:!dirty ~dirty_insts:insts in
+  t.last_stats <- Some stats;
+  t.edits <- t.edits + 1;
+  Obs.Metrics.incr m_edits;
+  stats
+
+let touched_nets (i : Design.instance) ~old_nn =
+  Array.to_list i.Design.conns
+  |> List.filter (fun nid -> nid >= 0 && nid < old_nn)
+  |> List.sort_uniq compare
+
+(* ---- edits ---- *)
+
+let insert_tp t ~net =
+  let d = design t in
+  let old_ni = Design.num_insts d and old_nn = Design.num_nets d in
+  let old_np = Util.Vec.length d.Design.ports in
+  let near = anchor t net in
+  let dom = Tpi.Clocking.domain_for d ~net in
+  let clock_net = leaf_clock_for t ~dom ~near in
+  let i = Tpi.Insert.insert_point ?clock_net d ~net ~index:t.next_tp in
+  t.next_tp <- t.next_tp + 1;
+  Layout.Eco.add_cell t.pl ~inst:i.Design.id ~near;
+  let stats =
+    refresh t ~old_ni ~old_nn ~old_np ~near ~nets:(touched_nets i ~old_nn) ~insts:[]
+  in
+  (i, stats)
+
+let insert_buffer t ~net =
+  let d = design t in
+  let old_ni = Design.num_insts d and old_nn = Design.num_nets d in
+  let old_np = Util.Vec.length d.Design.ports in
+  let near = anchor t net in
+  let n = Design.net d net in
+  let buf = Stdcell.Library.min_drive_strength d.Design.lib Cell.Buf in
+  let nb = Design.split_net d ~net ~name:(n.Design.nname ^ "_buf") in
+  let b = Design.add_instance d ~name:(n.Design.nname ^ "_ecobuf") ~cell:buf in
+  Design.connect d ~inst:b.Design.id ~pin:0 ~net;
+  Design.connect d ~inst:b.Design.id ~pin:1 ~net:nb.Design.nid;
+  Layout.Eco.add_cell t.pl ~inst:b.Design.id ~near;
+  let stats = refresh t ~old_ni ~old_nn ~old_np ~near ~nets:[ net ] ~insts:[] in
+  (b, stats)
+
+let upsize t ~inst =
+  let d = design t in
+  let old_ni = Design.num_insts d and old_nn = Design.num_nets d in
+  let old_np = Util.Vec.length d.Design.ports in
+  let i = Design.inst d inst in
+  match Stdcell.Library.upsize d.Design.lib i.Design.cell with
+  | None -> None
+  | Some bigger ->
+    let old_width = i.Design.cell.Cell.width in
+    let pins = List.init (Array.length i.Design.cell.Cell.pins) (fun k -> (k, k)) in
+    Design.replace_cell d ~inst ~cell:bigger ~pin_map:pins;
+    if Place.is_placed t.pl inst then begin
+      let r = t.pl.Place.row.(inst) in
+      t.pl.Place.row_used.(r) <- t.pl.Place.row_used.(r) +. bigger.Cell.width -. old_width
+    end;
+    let near =
+      if Place.is_placed t.pl inst then Place.position t.pl inst
+      else anchor t (List.hd (touched_nets i ~old_nn))
+    in
+    let stats =
+      refresh t ~old_ni ~old_nn ~old_np ~near ~nets:(touched_nets i ~old_nn)
+        ~insts:[ inst ]
+    in
+    Some stats

@@ -1,0 +1,56 @@
+(** Incremental ECO re-timing context (DESIGN.md §6.6).
+
+    Binds a placed, routed, extracted design to a compiled {!Sta.Tgraph}
+    and keeps all four views consistent under netlist edits. Each edit
+    re-places only new cells, re-routes and re-extracts only the nets
+    whose terminals changed, and worklist-retimes only the dirtied cone —
+    yet leaves the context byte-identical to re-running
+    [Route.run → Extract.run → Analysis.run] from scratch on the same
+    mutated design (routing and extraction are pure per-net maps and
+    {!Sta.Incremental.retime} is exact). *)
+
+type t
+
+val create :
+  ?config:Sta.Analysis.config ->
+  Layout.Place.t ->
+  Layout.Route.t ->
+  Layout.Extract.net_rc array ->
+  t
+(** Compile the timing graph and snapshot per-net routes/parasitics.
+    The placement (and the design under it) are borrowed and mutated by
+    subsequent edits; the route and rc arrays are copied. *)
+
+val insert_tp :
+  t -> net:int -> Netlist.Design.instance * Sta.Incremental.stats
+(** Splice an observe/control TSFF into [net] (§3.1 step 3) as a
+    post-layout ECO: clocked from the nearest CTS leaf buffer of its
+    domain (root clock net when no tree exists), legalized near the
+    net's driver, with only the split net, the test-control nets and
+    the leaf clock net re-routed and re-timed. *)
+
+val insert_buffer :
+  t -> net:int -> Netlist.Design.instance * Sta.Incremental.stats
+(** Split [net] behind a minimum-drive buffer placed near its driver. *)
+
+val upsize : t -> inst:int -> Sta.Incremental.stats option
+(** Swap [inst] for the next drive strength up ({!Stdcell.Library.upsize});
+    [None] when it is already at maximum drive. Every incident net is
+    re-routed (the cell centre, hence every pin position, moves). *)
+
+val analysis : t -> Sta.Analysis.t
+(** Full report from the current graph state — endpoint slacks, eq. 3
+    breakdown, critical paths — without any propagation. *)
+
+val route : t -> Layout.Route.t
+(** Congestion/wirelength statistics rebuilt over the patched routes. *)
+
+val rc : t -> Layout.Extract.net_rc array
+(** Live per-net parasitics (do not mutate). *)
+
+val design : t -> Netlist.Design.t
+val placement : t -> Layout.Place.t
+val tgraph : t -> Sta.Tgraph.t
+
+val last_stats : t -> Sta.Incremental.stats option
+(** Cone statistics of the most recent edit. *)

@@ -1,6 +1,8 @@
 module Design = Netlist.Design
 module Cell = Stdcell.Cell
 
+type mode = Full_sta | Incremental_sta
+
 type report = {
   rounds : int;
   upsized_cells : int;
@@ -26,10 +28,12 @@ let worst_tcp (sta : Sta.Analysis.t) =
   | Some p -> p.Sta.Analysis.t_cp
   | None -> 0.0
 
-(* upsize every upsizable cell on the reported critical paths *)
-let upsize_paths (pl : Layout.Place.t) (sta : Sta.Analysis.t) =
-  let d = pl.Layout.Place.design in
-  let count = ref 0 in
+(* the upsize schedule a report implies: every step of every reported
+   critical path, in path order — a cell on several paths is taken once
+   per appearance, stepping one drive strength each time, exactly as the
+   in-place loop always did *)
+let path_insts (sta : Sta.Analysis.t) =
+  let acc = ref [] in
   Array.iter
     (fun path ->
       match path with
@@ -37,26 +41,34 @@ let upsize_paths (pl : Layout.Place.t) (sta : Sta.Analysis.t) =
       | Some (p : Sta.Analysis.critical_path) ->
         List.iter
           (fun (s : Sta.Analysis.step) ->
-            if s.Sta.Analysis.st_inst >= 0 then begin
-              let i = Design.inst d s.Sta.Analysis.st_inst in
-              match Stdcell.Library.upsize d.Design.lib i.Design.cell with
-              | None -> ()
-              | Some bigger ->
-                let old_width = i.Design.cell.Cell.width in
-                let pins = List.init (Array.length i.Design.cell.Cell.pins) (fun k -> (k, k)) in
-                Design.replace_cell d ~inst:i.Design.id ~cell:bigger ~pin_map:pins;
-                if Layout.Place.is_placed pl i.Design.id then begin
-                  let r = pl.Layout.Place.row.(i.Design.id) in
-                  pl.Layout.Place.row_used.(r) <-
-                    pl.Layout.Place.row_used.(r) +. bigger.Cell.width -. old_width
-                end;
-                incr count
-            end)
+            if s.Sta.Analysis.st_inst >= 0 then acc := s.Sta.Analysis.st_inst :: !acc)
           p.Sta.Analysis.steps)
     sta.Sta.Analysis.per_domain;
+  List.rev !acc
+
+(* upsize every upsizable cell on the reported critical paths *)
+let upsize_paths (pl : Layout.Place.t) (sta : Sta.Analysis.t) =
+  let d = pl.Layout.Place.design in
+  let count = ref 0 in
+  List.iter
+    (fun iid ->
+      let i = Design.inst d iid in
+      match Stdcell.Library.upsize d.Design.lib i.Design.cell with
+      | None -> ()
+      | Some bigger ->
+        let old_width = i.Design.cell.Cell.width in
+        let pins = List.init (Array.length i.Design.cell.Cell.pins) (fun k -> (k, k)) in
+        Design.replace_cell d ~inst:i.Design.id ~cell:bigger ~pin_map:pins;
+        if Layout.Place.is_placed pl i.Design.id then begin
+          let r = pl.Layout.Place.row.(i.Design.id) in
+          pl.Layout.Place.row_used.(r) <-
+            pl.Layout.Place.row_used.(r) +. bigger.Cell.width -. old_width
+        end;
+        incr count)
+    (path_insts sta);
   !count
 
-let run ?(max_rounds = 3) (pl : Layout.Place.t) =
+let run_full ~max_rounds (pl : Layout.Place.t) =
   let d = pl.Layout.Place.design in
   let cell_area_before = cell_area d in
   let route0, rc0, sta0 = analyse pl in
@@ -89,3 +101,55 @@ let run ?(max_rounds = 3) (pl : Layout.Place.t) =
     sta;
     route;
     rc }
+
+(* Same loop, but the layout/timing state lives in an ECO context: each
+   upsize re-routes only the resized cell's incident nets and worklist-
+   retimes its cone instead of re-running route/extract/STA over the
+   whole design once per round. Retime's exactness guarantee makes every
+   round's analysis — and hence every upsize decision and the final
+   report — byte-identical to [run_full]. *)
+let run_incremental ~max_rounds (pl : Layout.Place.t) =
+  let d = pl.Layout.Place.design in
+  let cell_area_before = cell_area d in
+  let route0 = Layout.Route.run pl in
+  let rc0 = Layout.Extract.run pl route0 in
+  let ctx = Retime.create pl route0 rc0 in
+  let sta0 = Retime.analysis ctx in
+  let t_cp_before = worst_tcp sta0 in
+  let best_sta = ref sta0 in
+  let upsized = ref 0 and rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < max_rounds do
+    incr rounds;
+    let sta = !best_sta in
+    let n =
+      List.fold_left
+        (fun acc iid ->
+          match Retime.upsize ctx ~inst:iid with Some _ -> acc + 1 | None -> acc)
+        0 (path_insts sta)
+    in
+    upsized := !upsized + n;
+    if n = 0 then continue_ := false
+    else begin
+      let sta' = Retime.analysis ctx in
+      if worst_tcp sta' < worst_tcp sta then best_sta := sta'
+      else begin
+        best_sta := sta';
+        continue_ := false
+      end
+    end
+  done;
+  { rounds = !rounds;
+    upsized_cells = !upsized;
+    t_cp_before;
+    t_cp_after = worst_tcp !best_sta;
+    cell_area_before;
+    cell_area_after = cell_area d;
+    sta = !best_sta;
+    route = Retime.route ctx;
+    rc = Retime.rc ctx }
+
+let run ?(max_rounds = 3) ?(mode = Incremental_sta) (pl : Layout.Place.t) =
+  match mode with
+  | Full_sta -> run_full ~max_rounds pl
+  | Incremental_sta -> run_incremental ~max_rounds pl

@@ -5,6 +5,14 @@
     be measured: upsize the cells on the worst paths, re-route, re-extract,
     re-time, repeat. *)
 
+type mode =
+  | Full_sta         (** re-route, re-extract and re-time the whole design
+                         once per round (the original engine) *)
+  | Incremental_sta  (** per-edit ECO via {!Retime}: each upsize re-routes
+                         only its incident nets and worklist-retimes its
+                         cone; byte-identical reports, one re-time per cell
+                         instead of one full STA per round *)
+
 type report = {
   rounds : int;
   upsized_cells : int;
@@ -17,6 +25,8 @@ type report = {
   rc : Layout.Extract.net_rc array;
 }
 
-val run : ?max_rounds:int -> Layout.Place.t -> report
-(** Default 3 rounds; stops early when the critical path stops improving
-    or nothing on it can be upsized further. *)
+val run : ?max_rounds:int -> ?mode:mode -> Layout.Place.t -> report
+(** Default 3 rounds, [Incremental_sta]; stops early when the critical
+    path stops improving or nothing on it can be upsized further. The two
+    modes produce byte-identical reports (pinned by the incremental test
+    suite); only the work done per round differs. *)

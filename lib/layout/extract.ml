@@ -37,13 +37,14 @@ let empty_rc d (n : Design.net) =
     length_um = 0.0;
     sink_delays = [] }
 
-let run (pl : Place.t) (rt : Route.t) =
+(* one net's parasitics from its (possibly absent) route: a pure per-net
+   map, so re-extracting the nets an ECO touched yields byte-identical
+   values to a whole-design [run] *)
+let extract_net (pl : Place.t) (ro : Route.net_route option) (n : Design.net) =
   let d = pl.Place.design in
-  Array.init (Design.num_nets d) (fun nid ->
-      let n = Design.net d nid in
-      match rt.Route.routes.(nid) with
-      | None -> empty_rc d n
-      | Some route ->
+  match ro with
+  | None -> empty_rc d n
+  | Some route ->
         let terms = route.Route.terminals in
         let k = Array.length terms in
         let parent = route.Route.parent in
@@ -93,11 +94,16 @@ let run (pl : Place.t) (rt : Route.t) =
           |> List.map (fun (v, (t : Route.terminal)) ->
                  { s_inst = t.Route.t_inst; s_pin = t.Route.t_pin; elmore_ps = delay.(v) })
         in
-        { wire_cap_ff;
-          pin_cap_ff;
-          total_cap_ff = wire_cap_ff +. pin_cap_ff;
-          length_um = route.Route.length;
-          sink_delays })
+    { wire_cap_ff;
+      pin_cap_ff;
+      total_cap_ff = wire_cap_ff +. pin_cap_ff;
+      length_um = route.Route.length;
+      sink_delays }
+
+let run (pl : Place.t) (rt : Route.t) =
+  let d = pl.Place.design in
+  Array.init (Design.num_nets d) (fun nid ->
+      extract_net pl rt.Route.routes.(nid) (Design.net d nid))
 
 let sink_elmore rc ~inst ~pin =
   let rec find = function

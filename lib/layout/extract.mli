@@ -31,5 +31,10 @@ val output_port_load_ff : float
 val run : Place.t -> Route.t -> net_rc array
 (** Indexed by net id; unrouted nets get zero parasitics (pin caps only). *)
 
+val extract_net : Place.t -> Route.net_route option -> Netlist.Design.net -> net_rc
+(** One net's parasitics: the pure per-net map [run] folds over the whole
+    design, exposed so an ECO can re-extract just the nets it touched
+    with byte-identical values. *)
+
 val sink_elmore : net_rc -> inst:int -> pin:int -> float
 (** 0.0 when the sink is not on the net. *)

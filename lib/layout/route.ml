@@ -72,8 +72,46 @@ let snake (pts : Point.t array) =
   Array.iteri (fun i v -> parent.(v) <- (if i = 0 then 0 else order.(i - 1))) order;
   parent
 
-let run ?(gcell_um = 20.0) ?(capacity = 14) (pl : Place.t) =
-  let d = pl.Place.design in
+(* one net's spanning tree over its placed terminals; pure — no metrics,
+   no congestion. Deterministic in the placement and the net's
+   driver/sink order, so re-routing one net after an ECO reproduces
+   exactly what a whole-design [run] would compute for it. *)
+let route_net (pl : Place.t) (n : Design.net) =
+  let terms = ref [] in
+  (match n.Design.driver with
+   | Design.Cell_pin (iid, pin) when Place.is_placed pl iid ->
+     terms := [ { t_point = Pinpos.inst_pin pl iid; t_inst = iid; t_pin = pin } ]
+   | Design.Port_in pid ->
+     terms := [ { t_point = Pinpos.port pl pid; t_inst = -1; t_pin = pid } ]
+   | Design.Cell_pin _ | Design.No_driver -> ());
+  if !terms = [] then None
+  else begin
+    List.iter
+      (fun (iid, pin) ->
+        if Place.is_placed pl iid then
+          terms := { t_point = Pinpos.inst_pin pl iid; t_inst = iid; t_pin = pin } :: !terms)
+      n.Design.sinks;
+    if n.Design.out_port >= 0 then
+      terms :=
+        { t_point = Pinpos.port pl n.Design.out_port; t_inst = -1; t_pin = n.Design.out_port }
+        :: !terms;
+    (* driver collected first, so it ends up last after consing *)
+    let terminals = Array.of_list (List.rev !terms) in
+    if Array.length terminals < 2 then None
+    else begin
+      let pts = Array.map (fun t -> t.t_point) terminals in
+      let parent = if Array.length pts <= prim_threshold then prim pts else snake pts in
+      let length = ref 0.0 in
+      Array.iteri
+        (fun v p ->
+          if p >= 0 then length := !length +. Point.manhattan pts.(v) pts.(p))
+        parent;
+      Some { terminals; parent; length = !length }
+    end
+  end
+
+(* congestion grid shared by [run] and [rebuild_stats] *)
+let grid ~gcell_um (pl : Place.t) =
   let chip = pl.Place.fp.Floorplan.chip in
   let cols = max 1 (int_of_float (Float.round (Rect.width chip /. gcell_um))) in
   let rows = max 1 (int_of_float (Float.round (Rect.height chip /. gcell_um))) in
@@ -93,67 +131,79 @@ let run ?(gcell_um = 20.0) ?(capacity = 14) (pl : Place.t) =
       usage_v.(r).(c) <- usage_v.(r).(c) + 1
     done
   in
-  let routes = Array.make (Design.num_nets d) None in
-  let total = ref 0.0 in
-  Obs.Trace.with_span ~name:"route.nets"
-    ~attrs:[ ("nets", Obs.Json.Int (Design.num_nets d)) ]
-    (fun () ->
-  Design.iter_nets d (fun n ->
-      let terms = ref [] in
-      (match n.Design.driver with
-       | Design.Cell_pin (iid, pin) when Place.is_placed pl iid ->
-         terms := [ { t_point = Pinpos.inst_pin pl iid; t_inst = iid; t_pin = pin } ]
-       | Design.Port_in pid ->
-         terms := [ { t_point = Pinpos.port pl pid; t_inst = -1; t_pin = pid } ]
-       | Design.Cell_pin _ | Design.No_driver -> ());
-      if !terms <> [] then begin
-        List.iter
-          (fun (iid, pin) ->
-            if Place.is_placed pl iid then
-              terms := { t_point = Pinpos.inst_pin pl iid; t_inst = iid; t_pin = pin } :: !terms)
-          n.Design.sinks;
-        if n.Design.out_port >= 0 then
-          terms :=
-            { t_point = Pinpos.port pl n.Design.out_port; t_inst = -1; t_pin = n.Design.out_port }
-            :: !terms;
-        (* driver collected first, so it ends up last after consing *)
-        let terminals = Array.of_list (List.rev !terms) in
-        if Array.length terminals >= 2 then begin
-          Obs.Metrics.observe h_net_terminals (float_of_int (Array.length terminals));
-          let pts = Array.map (fun t -> t.t_point) terminals in
-          let parent =
-            if Array.length pts <= prim_threshold then prim pts else snake pts
-          in
-          let length = ref 0.0 in
-          Array.iteri
-            (fun v p ->
-              if p >= 0 then begin
-                let a = pts.(v) and b = pts.(p) in
-                length := !length +. Point.manhattan a b;
-                Obs.Metrics.incr m_segments;
-                (* L route: horizontal first, then vertical *)
-                add_h a.Point.y a.Point.x b.Point.x;
-                add_v b.Point.x a.Point.y b.Point.y
-              end)
-            parent;
-          total := !total +. !length;
-          Obs.Metrics.incr m_nets_routed;
-          routes.(n.Design.nid) <- Some { terminals; parent; length = !length }
-        end
-      end));
+  (rows, cols, usage_h, usage_v, add_h, add_v)
+
+(* every tree edge as an L: horizontal first, then vertical *)
+let add_route_to_grid ~add_h ~add_v (r : net_route) =
+  Array.iteri
+    (fun v p ->
+      if p >= 0 then begin
+        let a = r.terminals.(v).t_point and b = r.terminals.(p).t_point in
+        add_h a.Point.y a.Point.x b.Point.x;
+        add_v b.Point.x a.Point.y b.Point.y
+      end)
+    r.parent
+
+let count_overflow ~capacity ~rows ~cols usage_h usage_v =
   let overflowed = ref 0 in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
       if usage_h.(r).(c) > capacity || usage_v.(r).(c) > capacity then incr overflowed
     done
   done;
-  Obs.Metrics.set g_overflowed (float_of_int !overflowed);
+  !overflowed
+
+let run ?(gcell_um = 20.0) ?(capacity = 14) (pl : Place.t) =
+  let d = pl.Place.design in
+  let rows, cols, usage_h, usage_v, add_h, add_v = grid ~gcell_um pl in
+  let routes = Array.make (Design.num_nets d) None in
+  let total = ref 0.0 in
+  Obs.Trace.with_span ~name:"route.nets"
+    ~attrs:[ ("nets", Obs.Json.Int (Design.num_nets d)) ]
+    (fun () ->
+  Design.iter_nets d (fun n ->
+      match route_net pl n with
+      | None -> ()
+      | Some r ->
+        Obs.Metrics.observe h_net_terminals (float_of_int (Array.length r.terminals));
+        Array.iter (fun p -> if p >= 0 then Obs.Metrics.incr m_segments) r.parent;
+        add_route_to_grid ~add_h ~add_v r;
+        total := !total +. r.length;
+        Obs.Metrics.incr m_nets_routed;
+        routes.(n.Design.nid) <- Some r));
+  let overflowed = count_overflow ~capacity ~rows ~cols usage_h usage_v in
+  Obs.Metrics.set g_overflowed (float_of_int overflowed);
   { routes;
     total_wirelength = !total;
     gcell_um;
     usage_h;
     usage_v;
-    overflowed_gcells = !overflowed }
+    overflowed_gcells = overflowed }
+
+(* recompute the aggregate view (wirelength, congestion, overflow) from a
+   routes array whose entries were patched net by net: the result equals
+   what [run] would build if it produced the same routes. No route.*
+   counters move — this is bookkeeping, not routing work. *)
+let rebuild_stats ?(gcell_um = 20.0) ?(capacity = 14) (pl : Place.t)
+    (routes : net_route option array) =
+  let rows, cols, usage_h, usage_v, add_h, add_v = grid ~gcell_um pl in
+  let total = ref 0.0 in
+  Array.iter
+    (fun ro ->
+      match ro with
+      | None -> ()
+      | Some r ->
+        add_route_to_grid ~add_h ~add_v r;
+        total := !total +. r.length)
+    routes;
+  let overflowed = count_overflow ~capacity ~rows ~cols usage_h usage_v in
+  Obs.Metrics.set g_overflowed (float_of_int overflowed);
+  { routes;
+    total_wirelength = !total;
+    gcell_um;
+    usage_h;
+    usage_v;
+    overflowed_gcells = overflowed }
 
 let net_length t nid =
   match t.routes.(nid) with

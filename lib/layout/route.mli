@@ -29,4 +29,18 @@ type t = {
 val run : ?gcell_um:float -> ?capacity:int -> Place.t -> t
 (** Defaults: 20 um gcells, 14 tracks per direction. *)
 
+val route_net : Place.t -> Netlist.Design.net -> net_route option
+(** Route one net in isolation: pure (no metrics, no congestion
+    accounting) and deterministic in the placement and the net's
+    driver/sink order, so patching one net after an ECO reproduces
+    exactly the route a whole-design {!run} would give it. [None] for
+    degenerate (driverless or single-terminal) nets. *)
+
+val rebuild_stats :
+  ?gcell_um:float -> ?capacity:int -> Place.t -> net_route option array -> t
+(** Recompute wirelength, congestion and overflow from a routes array
+    whose entries were patched net by net; equal to what {!run} would
+    build had it produced the same routes. Moves no [route.*] counters
+    (it does no routing work), but refreshes the overflow gauge. *)
+
 val net_length : t -> int -> float

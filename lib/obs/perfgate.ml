@@ -62,18 +62,23 @@ let gated_metrics doc =
           items
       | _ -> ())
    | None -> ());
-  (match Json.member "cache" doc with
-   | Some cache ->
-     (match Json.member "kernels" cache with
-      | Some (Json.List items) ->
-        List.iter
-          (fun item ->
-            match (str (Json.member "name" item), num (Json.member "speedup" item)) with
-            | Some name, Some v -> push ("cache/" ^ name ^ "/speedup") Higher_better v
-            | _ -> ())
-          items
-      | _ -> ())
-   | None -> ());
+  let speedup_section section =
+    match Json.member section doc with
+    | Some sec ->
+      (match Json.member "kernels" sec with
+       | Some (Json.List items) ->
+         List.iter
+           (fun item ->
+             match (str (Json.member "name" item), num (Json.member "speedup" item)) with
+             | Some name, Some v ->
+               push (section ^ "/" ^ name ^ "/speedup") Higher_better v
+             | _ -> ())
+           items
+       | _ -> ())
+    | None -> ()
+  in
+  speedup_section "cache";
+  speedup_section "incremental";
   (match Json.member "serve" doc with
    | Some serve ->
      (match num (Json.member "throughput_jobs_per_s" serve) with
@@ -85,7 +90,22 @@ let gated_metrics doc =
    | None -> ());
   List.rev !out
 
+(* The parallel speedups only mean something when both documents were
+   measured on comparably provisioned hosts: a 4-core baseline compared
+   against a 1-core CI runner would fail the gate on hardware, not on a
+   code regression. [host_cores] travels in the parallel section for
+   exactly this judgement. *)
+let parallel_host_cores doc =
+  match Json.member "parallel" doc with
+  | Some par -> num (Json.member "host_cores" par)
+  | None -> None
+
 let compare_docs ~baseline ~current ~tolerance_pct =
+  let cores_differ =
+    match (parallel_host_cores baseline, parallel_host_cores current) with
+    | Some b, Some c -> b <> c
+    | _ -> false
+  in
   let cur = gated_metrics current in
   let lookup name = List.find_opt (fun (n, _, _) -> n = name) cur in
   let checked = ref 0 in
@@ -93,6 +113,9 @@ let compare_docs ~baseline ~current ~tolerance_pct =
   let violations = ref [] in
   List.iter
     (fun (name, dir, base) ->
+      if cores_differ && String.starts_with ~prefix:"parallel/" name then
+        skipped := name :: !skipped
+      else
       match lookup name with
       | None -> skipped := name :: !skipped
       | Some (_, _, v) ->

@@ -2,9 +2,9 @@
 
     Compares a freshly measured perf document against a checked-in
     baseline and reports every gated metric that moved past tolerance
-    in its bad direction: kernel [ns_per_run] must not rise, parallel
-    and cache [speedup] must not fall, serve throughput must not fall,
-    serve [p95_ms] must not rise. Metrics are matched by name, so
+    in its bad direction: kernel [ns_per_run] must not rise, parallel,
+    cache and incremental [speedup] must not fall, serve throughput
+    must not fall, serve [p95_ms] must not rise. Metrics are matched by name, so
     kernels added or removed on either side are skipped (and listed),
     never spuriously failed.
 
@@ -24,7 +24,11 @@ type violation = {
 
 type verdict = {
   checked : int;            (** metrics present in both documents *)
-  skipped : string list;    (** baseline metrics absent from current *)
+  skipped : string list;
+      (** baseline metrics absent from current, plus every [parallel/*]
+          speedup when the two documents record different
+          [parallel.host_cores] — a 4-core baseline against a 1-core
+          runner would fail on hardware, not on a code regression *)
   violations : violation list;
 }
 

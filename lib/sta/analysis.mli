@@ -69,6 +69,38 @@ type t = {
   worst : critical_path option;
 }
 
+val is_launch : Netlist.Design.instance -> bool
+(** Clocked launch element in application mode (Dff/Sdff; the TSFF's
+    clocked output only exists in test mode, so it times as a
+    combinational cell). *)
+
+val app_arcs : Stdcell.Cell.t -> Stdcell.Cell.arc list
+(** Application-mode timing arcs: the cell's arcs minus test-only ones
+    (blocked as false paths), in declaration order. *)
+
+val timing_inputs : Netlist.Design.instance -> int list
+(** Input pins that participate in application-mode timing: the clock pin
+    for a launch element, else the from-pins of {!app_arcs}. *)
+
+val level_par_min : int
+(** Below this many instances a level bucket is evaluated inline rather
+    than fanned across a pool. *)
+
+val build_result :
+  Netlist.Design.t ->
+  elmore:(int -> inst:int -> pin:int -> float) ->
+  arrival:float array ->
+  slew:float array ->
+  from_pin:int array ->
+  slow_nodes:int ->
+  t
+(** Endpoint enumeration, critical-path backtracking and the eq. 3
+    breakdown, from already-propagated per-net state. [elmore nid ~inst
+    ~pin] must return the sink wire delay the propagation used. Shared by
+    {!run} and the flat timing graph ({!Tgraph.analysis}) so both produce
+    byte-identical reports. Bumps [sta.endpoints]; raises
+    {!Backtrack_diverged} on inconsistent provenance. *)
+
 val run :
   ?pool:Par.Pool.t -> ?config:config -> Layout.Place.t -> Layout.Extract.net_rc array -> t
 (** Raises {!Combinational_cycle} on a combinational loop and

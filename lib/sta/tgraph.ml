@@ -1,0 +1,731 @@
+(* Flat structure-of-arrays timing graph.
+
+   Compiled once from the extracted design, then kept alive across edits:
+   arrivals, slews, provenance, loads, sink Elmores, levels and timing
+   arcs all live in flat int/float arrays indexed by net/instance/arc id —
+   no per-node records on the hot path. [propagate] re-times the whole
+   design from seeds and is byte-identical to [Analysis.run] (same float
+   op order per arc, same [sta.arcs_evaluated]/[sta.endpoints] counters,
+   same critical-path report via the shared [Analysis.build_result]);
+   [Incremental.retime] re-evaluates only a dirty cone.
+
+   Mutators keep the mirror in sync with the (mutable) design:
+   [update_rc] refreshes one net's parasitics after re-extraction,
+   [sync_topology] absorbs appended instances/nets and rewired pins and
+   incrementally re-levelizes the affected cone (levels only ever rise —
+   netlist surgery here only lengthens paths). *)
+
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+module Lut = Stdcell.Lut
+
+(* same interned cells as Analysis: full propagation on the graph must
+   move the same counters by the same amounts as [Analysis.run] *)
+let m_arcs = Obs.Metrics.counter "sta.arcs_evaluated"
+let g_slow_nodes = Obs.Metrics.gauge "sta.slow_nodes"
+
+let empty_ints : int array = [||]
+let empty_floats : float array = [||]
+
+(* sink-Elmore keys pack (instance, pin): pin indices are < 8 for every
+   cell kind (Tsff has 6 pins) *)
+let elm_key ~inst ~pin = (inst lsl 4) lor (pin land 15)
+
+type t = {
+  d : Design.t;
+  config : Analysis.config;
+  (* --- per-net (length >= num_nets d; [nn] live) --- *)
+  mutable nn : int;
+  mutable arrival : float array;
+  mutable slew : float array;
+  mutable from_inst : int array;
+  mutable from_pin : int array;
+  mutable seed_arr : float array;       (* arrival reset value per net *)
+  mutable total_cap : float array;      (* load the net's driver sees, fF *)
+  mutable elm_keys : int array array;   (* per net, in rc sink_delays order *)
+  mutable elm_vals : float array array;
+  mutable driver : int array;           (* considered driving instance or -1 *)
+  mutable required : float array;       (* required arrival at driver output *)
+  (* --- per-instance (length >= num_insts d; [ni] live) --- *)
+  mutable ni : int;
+  mutable considered : bool array;
+  mutable launch : bool array;
+  mutable slow : bool array;
+  mutable level : int array;
+  mutable ck_pin : int array;           (* clock pin index or -1 *)
+  mutable out_pin : int array;          (* output pin index or -1 *)
+  mutable arc_lo : int array;           (* CSR range into the arc arrays *)
+  mutable arc_hi : int array;
+  (* --- flat application-mode arcs (append-only CSR) --- *)
+  mutable na : int;
+  mutable a_from : int array;
+  mutable a_to : int array;
+  mutable a_arc : Cell.arc array;
+  (* --- levelization --- *)
+  mutable max_level : int;
+  mutable order : int array;            (* considered insts, (level, id) order *)
+  mutable order_valid : bool;
+  mutable required_valid : bool;
+}
+
+let num_nets t = t.nn
+let num_insts t = t.ni
+let level t iid = t.level.(iid)
+let max_level t = t.max_level
+
+let elmore t nid ~inst ~pin =
+  let keys = t.elm_keys.(nid) in
+  let key = elm_key ~inst ~pin in
+  let n = Array.length keys in
+  let rec find k =
+    if k >= n then 0.0 else if keys.(k) = key then t.elm_vals.(nid).(k) else find (k + 1)
+  in
+  find 0
+
+(* ---- array growth ---- *)
+
+let grow_floats a n fill =
+  let b = Array.make n fill in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_ints a n fill =
+  let b = Array.make n fill in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_bools a n =
+  let b = Array.make n false in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_ints_arr a n =
+  let b = Array.make n empty_ints in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_floats_arr a n =
+  let b = Array.make n empty_floats in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let ensure_net_capacity t n =
+  let cap = Array.length t.arrival in
+  if n > cap then begin
+    let c = max n (max 16 (2 * cap)) in
+    t.arrival <- grow_floats t.arrival c neg_infinity;
+    t.slew <- grow_floats t.slew c t.config.Analysis.input_slew_ps;
+    t.from_inst <- grow_ints t.from_inst c (-1);
+    t.from_pin <- grow_ints t.from_pin c (-1);
+    t.seed_arr <- grow_floats t.seed_arr c neg_infinity;
+    t.total_cap <- grow_floats t.total_cap c 0.0;
+    t.elm_keys <- grow_ints_arr t.elm_keys c;
+    t.elm_vals <- grow_floats_arr t.elm_vals c;
+    t.driver <- grow_ints t.driver c (-1);
+    t.required <- grow_floats t.required c infinity
+  end
+
+let ensure_inst_capacity t n =
+  let cap = Array.length t.level in
+  if n > cap then begin
+    let c = max n (max 16 (2 * cap)) in
+    t.considered <- grow_bools t.considered c;
+    t.launch <- grow_bools t.launch c;
+    t.slow <- grow_bools t.slow c;
+    t.level <- grow_ints t.level c 0;
+    t.ck_pin <- grow_ints t.ck_pin c (-1);
+    t.out_pin <- grow_ints t.out_pin c (-1);
+    t.arc_lo <- grow_ints t.arc_lo c 0;
+    t.arc_hi <- grow_ints t.arc_hi c 0
+  end
+
+(* [filler] seeds the slots of a freshly grown arc array; every live slot
+   is overwritten by [sync_inst] before any read *)
+let ensure_arc_capacity t n ~filler =
+  let cap = Array.length t.a_from in
+  if n > cap then begin
+    let c = max n (max 32 (2 * cap)) in
+    t.a_from <- grow_ints t.a_from c (-1);
+    t.a_to <- grow_ints t.a_to c (-1);
+    let b = Array.make c (if cap > 0 then t.a_arc.(0) else filler) in
+    Array.blit t.a_arc 0 b 0 cap;
+    t.a_arc <- b
+  end
+
+(* ---- mirroring the design ---- *)
+
+let considered_kind = function
+  | Cell.Filler | Cell.Tiehi | Cell.Tielo -> false
+  | _ -> true
+
+(* out-pin is a timing input when it feeds an application-mode arc (the
+   clock pin for launch elements): the release predicate of Analysis *)
+let is_timing_input t iid pin =
+  if t.launch.(iid) then pin = t.ck_pin.(iid)
+  else begin
+    let rec scan k = k < t.arc_hi.(iid) && (t.a_from.(k) = pin || scan (k + 1)) in
+    scan t.arc_lo.(iid)
+  end
+
+let update_rc t nid (rc : Layout.Extract.net_rc) =
+  t.total_cap.(nid) <- rc.Layout.Extract.total_cap_ff;
+  let sd = rc.Layout.Extract.sink_delays in
+  let k = List.length sd in
+  if k = 0 then begin
+    t.elm_keys.(nid) <- empty_ints;
+    t.elm_vals.(nid) <- empty_floats
+  end
+  else begin
+    let keys = Array.make k 0 and vals = Array.make k 0.0 in
+    List.iteri
+      (fun j (s : Layout.Extract.sink_rc) ->
+        keys.(j) <- elm_key ~inst:s.Layout.Extract.s_inst ~pin:s.Layout.Extract.s_pin;
+        vals.(j) <- s.Layout.Extract.elmore_ps)
+      sd;
+    t.elm_keys.(nid) <- keys;
+    t.elm_vals.(nid) <- vals
+  end;
+  t.required_valid <- false
+
+(* refresh one net's seed/driver mirror from the design *)
+let sync_net t nid =
+  let n = Design.net t.d nid in
+  (match n.Design.driver with
+   | Design.Port_in _ -> t.seed_arr.(nid) <- t.config.Analysis.input_arrival_ps
+   | Design.Cell_pin (src, _) ->
+     (match (Design.inst t.d src).Design.cell.Cell.kind with
+      | Cell.Tiehi | Cell.Tielo -> t.seed_arr.(nid) <- 0.0
+      | _ -> t.seed_arr.(nid) <- neg_infinity)
+   | Design.No_driver -> t.seed_arr.(nid) <- neg_infinity);
+  t.driver.(nid) <-
+    (match n.Design.driver with
+     | Design.Cell_pin (src, _)
+       when considered_kind (Design.inst t.d src).Design.cell.Cell.kind -> src
+     | _ -> -1)
+
+(* (re)mirror one instance: cell kind flags and its CSR arc block. A cell
+   swap with the same arc count (the resize case) rewrites the block in
+   place; a different count appends a fresh block (the old one leaks, by
+   design — instances are never deleted and blocks are small). *)
+let sync_inst t iid =
+  let i = Design.inst t.d iid in
+  let cell = i.Design.cell in
+  t.considered.(iid) <- considered_kind cell.Cell.kind;
+  t.launch.(iid) <- Analysis.is_launch i;
+  t.ck_pin.(iid) <- (match Cell.clock_pin cell with Some p -> p | None -> -1);
+  t.out_pin.(iid) <-
+    (match cell.Cell.kind with Cell.Filler -> -1 | _ -> Cell.output_pin cell);
+  let arcs = Analysis.app_arcs cell in
+  let k = List.length arcs in
+  if t.arc_hi.(iid) - t.arc_lo.(iid) <> k then begin
+    if k > 0 then ensure_arc_capacity t (t.na + k) ~filler:(List.hd arcs);
+    t.arc_lo.(iid) <- t.na;
+    t.arc_hi.(iid) <- t.na + k;
+    t.na <- t.na + k
+  end;
+  List.iteri
+    (fun j (a : Cell.arc) ->
+      let p = t.arc_lo.(iid) + j in
+      t.a_from.(p) <- a.Cell.from_pin;
+      t.a_to.(p) <- a.Cell.to_pin;
+      t.a_arc.(p) <- a)
+    arcs
+
+let out_net t iid =
+  let op = t.out_pin.(iid) in
+  if op < 0 then -1 else (Design.inst t.d iid).Design.conns.(op)
+
+(* ---- levelization ---- *)
+
+(* structural Kahn pass: assigns levels (1 + max over released timing
+   edges), detects combinational cycles with the same offender rule as
+   Analysis (first considered instance, in id order, still pending) *)
+let levelize t =
+  let d = t.d in
+  let pending = Array.make t.ni 0 in
+  let queue = Queue.create () in
+  let total = ref 0 and processed = ref 0 in
+  Design.iter_insts d (fun i ->
+      let iid = i.Design.id in
+      t.level.(iid) <- 0;
+      if t.considered.(iid) then begin
+        incr total;
+        let count = ref 0 in
+        if t.launch.(iid) then begin
+          let ck = t.ck_pin.(iid) in
+          if ck >= 0 then begin
+            let nid = i.Design.conns.(ck) in
+            if nid >= 0 && t.driver.(nid) >= 0 then incr count
+          end
+        end
+        else
+          for k = t.arc_lo.(iid) to t.arc_hi.(iid) - 1 do
+            let nid = i.Design.conns.(t.a_from.(k)) in
+            if nid >= 0 && t.driver.(nid) >= 0 then incr count
+          done;
+        pending.(iid) <- !count;
+        if !count = 0 then Queue.add iid queue
+      end);
+  t.max_level <- 0;
+  while not (Queue.is_empty queue) do
+    let iid = Queue.pop queue in
+    incr processed;
+    if t.level.(iid) > t.max_level then t.max_level <- t.level.(iid);
+    (match out_net t iid with
+     | -1 -> ()
+     | on ->
+       List.iter
+         (fun (sink, pin) ->
+           if t.considered.(sink) && is_timing_input t sink pin then begin
+             if t.level.(iid) + 1 > t.level.(sink) then t.level.(sink) <- t.level.(iid) + 1;
+             pending.(sink) <- pending.(sink) - 1;
+             if pending.(sink) = 0 then Queue.add sink queue
+           end)
+         (Design.net d on).Design.sinks)
+  done;
+  if !processed <> !total then begin
+    let offender = ref (-1) in
+    Design.iter_insts d (fun i ->
+        if !offender < 0 && t.considered.(i.Design.id) && pending.(i.Design.id) > 0 then
+          offender := i.Design.id);
+    let iname = if !offender >= 0 then (Design.inst d !offender).Design.iname else "?" in
+    raise (Analysis.Combinational_cycle { inst = !offender; iname })
+  end
+
+let rebuild_order t =
+  let buckets = Array.make (t.max_level + 1) [] in
+  (* iterate ids descending so each bucket list ends up in ascending id order *)
+  for iid = t.ni - 1 downto 0 do
+    if t.considered.(iid) then buckets.(t.level.(iid)) <- iid :: buckets.(t.level.(iid))
+  done;
+  let count = ref 0 in
+  Array.iter (fun b -> count := !count + List.length b) buckets;
+  let order = Array.make !count 0 in
+  let k = ref 0 in
+  Array.iter
+    (List.iter (fun iid ->
+         order.(!k) <- iid;
+         incr k))
+    buckets;
+  t.order <- order;
+  t.order_valid <- true
+
+(* monotone incremental re-levelization: raise levels in the cone below
+   the given seeds until consistent. Netlist edits only append logic, so
+   levels never need to fall; a level driven past the instance count can
+   only mean the edit closed a combinational cycle. *)
+let relevel t ~seeds =
+  let d = t.d in
+  let inq = Array.make t.ni false in
+  let q = Queue.create () in
+  let push iid =
+    if iid >= 0 && iid < t.ni && t.considered.(iid) && not inq.(iid) then begin
+      inq.(iid) <- true;
+      Queue.add iid q
+    end
+  in
+  List.iter push seeds;
+  while not (Queue.is_empty q) do
+    let iid = Queue.pop q in
+    inq.(iid) <- false;
+    let i = Design.inst d iid in
+    let lr = ref 0 in
+    let consider nid =
+      if nid >= 0 && t.driver.(nid) >= 0 then begin
+        let l = t.level.(t.driver.(nid)) + 1 in
+        if l > !lr then lr := l
+      end
+    in
+    if t.launch.(iid) then begin
+      if t.ck_pin.(iid) >= 0 then consider i.Design.conns.(t.ck_pin.(iid))
+    end
+    else
+      for k = t.arc_lo.(iid) to t.arc_hi.(iid) - 1 do
+        consider i.Design.conns.(t.a_from.(k))
+      done;
+    if !lr > t.ni then
+      raise (Analysis.Combinational_cycle { inst = iid; iname = i.Design.iname });
+    if !lr > t.level.(iid) then begin
+      t.level.(iid) <- !lr;
+      if !lr > t.max_level then t.max_level <- !lr;
+      t.order_valid <- false;
+      match out_net t iid with
+      | -1 -> ()
+      | on ->
+        List.iter
+          (fun (sink, pin) ->
+            if t.considered.(sink) && is_timing_input t sink pin
+               && t.level.(sink) <= !lr then
+              push sink)
+          (Design.net d on).Design.sinks
+    end
+  done
+
+let sync_topology t ~nets ~insts =
+  let d = t.d in
+  let old_ni = t.ni and old_nn = t.nn in
+  ensure_inst_capacity t (Design.num_insts d);
+  ensure_net_capacity t (Design.num_nets d);
+  t.ni <- Design.num_insts d;
+  t.nn <- Design.num_nets d;
+  for iid = old_ni to t.ni - 1 do
+    sync_inst t iid
+  done;
+  for nid = old_nn to t.nn - 1 do
+    sync_net t nid;
+    (* start the new net at its seed, exactly as a from-scratch propagate
+       would: nets whose driver is never evaluated (tie cells, ports) keep
+       this value, and a later retime must observe it *)
+    t.arrival.(nid) <- t.seed_arr.(nid);
+    t.slew.(nid) <- t.config.Analysis.input_slew_ps;
+    t.from_inst.(nid) <- -1;
+    t.from_pin.(nid) <- -1
+  done;
+  List.iter (fun iid -> if iid < old_ni then sync_inst t iid) insts;
+  List.iter (fun nid -> if nid < old_nn then sync_net t nid) nets;
+  (* instances whose input topology may have changed: edited ones, new
+     ones, and every sink of an edited net *)
+  let seeds = ref [] in
+  for iid = old_ni to t.ni - 1 do
+    seeds := iid :: !seeds
+  done;
+  List.iter (fun iid -> seeds := iid :: !seeds) insts;
+  List.iter
+    (fun nid ->
+      List.iter (fun (sink, _) -> seeds := sink :: !seeds) (Design.net d nid).Design.sinks)
+    nets;
+  relevel t ~seeds:!seeds;
+  t.required_valid <- false
+
+(* ---- evaluation ---- *)
+
+(* reset a net to its pre-propagation seed; replaying the driver's arcs in
+   declaration order then reproduces exactly what a from-scratch pass
+   computes (first-wins tie behaviour included) *)
+let reset_net t nid =
+  t.arrival.(nid) <- t.seed_arr.(nid);
+  t.slew.(nid) <- t.config.Analysis.input_slew_ps;
+  t.from_inst.(nid) <- -1;
+  t.from_pin.(nid) <- -1
+
+(* one instance's arcs; the float op order mirrors [Analysis.eval_inst]
+   expression for expression, which is what keeps results bit-identical *)
+let eval_inst t counter iid =
+  let i = Design.inst t.d iid in
+  let conns = i.Design.conns in
+  let update_out on cand_arr cand_slew pin extrapolated =
+    Obs.Metrics.incr counter;
+    if cand_arr > t.arrival.(on) then begin
+      t.arrival.(on) <- cand_arr;
+      t.slew.(on) <- cand_slew;
+      t.from_inst.(on) <- iid;
+      t.from_pin.(on) <- pin
+    end;
+    if extrapolated then t.slow.(iid) <- true
+  in
+  if t.launch.(iid) then begin
+    let ck = t.ck_pin.(iid) in
+    if ck >= 0 then begin
+      let cknet = conns.(ck) in
+      if cknet >= 0 && t.arrival.(cknet) > neg_infinity then begin
+        let ck_arr = t.arrival.(cknet) +. elmore t cknet ~inst:iid ~pin:ck in
+        let ck_slew = t.slew.(cknet) +. (2.0 *. elmore t cknet ~inst:iid ~pin:ck) in
+        for k = t.arc_lo.(iid) to t.arc_hi.(iid) - 1 do
+          if t.a_from.(k) = ck then begin
+            let on = conns.(t.a_to.(k)) in
+            if on >= 0 then begin
+              let a = t.a_arc.(k) in
+              let load = t.total_cap.(on) in
+              let dl = Lut.eval a.Cell.delay ~slew:ck_slew ~load in
+              let sl = Lut.eval a.Cell.out_slew ~slew:ck_slew ~load in
+              update_out on (ck_arr +. dl.Lut.value) sl.Lut.value ck
+                (dl.Lut.extrapolated || sl.Lut.extrapolated)
+            end
+          end
+        done
+      end
+    end
+  end
+  else
+    for k = t.arc_lo.(iid) to t.arc_hi.(iid) - 1 do
+      let fp = t.a_from.(k) in
+      let in_net = conns.(fp) in
+      let on = conns.(t.a_to.(k)) in
+      if in_net >= 0 && on >= 0 && t.arrival.(in_net) > neg_infinity then begin
+        let pa = t.arrival.(in_net) +. elmore t in_net ~inst:iid ~pin:fp in
+        let ps = t.slew.(in_net) +. (2.0 *. elmore t in_net ~inst:iid ~pin:fp) in
+        let a = t.a_arc.(k) in
+        let load = t.total_cap.(on) in
+        let dl = Lut.eval a.Cell.delay ~slew:ps ~load in
+        let sl = Lut.eval a.Cell.out_slew ~slew:ps ~load in
+        update_out on (pa +. dl.Lut.value) sl.Lut.value fp
+          (dl.Lut.extrapolated || sl.Lut.extrapolated)
+      end
+    done
+
+let count_slow t =
+  let c = ref 0 in
+  for iid = 0 to t.ni - 1 do
+    if t.slow.(iid) then incr c
+  done;
+  !c
+
+(* full propagation from seeds, level-ordered; moves [sta.arcs_evaluated]
+   and [sta.slow_nodes] exactly as [Analysis.run] does *)
+let propagate ?pool t =
+  for nid = 0 to t.nn - 1 do
+    reset_net t nid
+  done;
+  for iid = 0 to t.ni - 1 do
+    t.slow.(iid) <- false
+  done;
+  if not t.order_valid then rebuild_order t;
+  Obs.Trace.with_span ~name:"sta.propagate" (fun () ->
+      match pool with
+      | Some p when Par.Pool.size p > 1 ->
+        (* bucket the precomputed order by level, then fan each bucket
+           across the pool — bit-identical because instances of a level
+           write disjoint state (see Analysis.eval_inst) *)
+        let lo = ref 0 in
+        let n = Array.length t.order in
+        while !lo < n do
+          let l = t.level.(t.order.(!lo)) in
+          let hi = ref !lo in
+          while !hi < n && t.level.(t.order.(!hi)) = l do
+            incr hi
+          done;
+          let base = !lo and nb = !hi - !lo in
+          if nb < Analysis.level_par_min then
+            for k = base to !hi - 1 do
+              eval_inst t m_arcs t.order.(k)
+            done
+          else
+            Par.Pool.iter_slots p ~n:nb (fun ~slot:_ ~lo ~hi ->
+                for k = lo to hi - 1 do
+                  eval_inst t m_arcs t.order.(base + k)
+                done);
+          lo := !hi
+        done
+      | _ -> Array.iter (eval_inst t m_arcs) t.order);
+  Obs.Metrics.set g_slow_nodes (float_of_int (count_slow t));
+  t.required_valid <- false
+
+let analysis t =
+  let nn = Design.num_nets t.d in
+  Analysis.build_result t.d ~elmore:(elmore t)
+    ~arrival:(Array.sub t.arrival 0 nn)
+    ~slew:(Array.sub t.slew 0 nn)
+    ~from_pin:(Array.sub t.from_pin 0 nn)
+    ~slow_nodes:(count_slow t)
+
+(* ---- compile ---- *)
+
+let compile ?(config = Analysis.default_config) (d : Design.t)
+    (rc : Layout.Extract.net_rc array) =
+  let ni = Design.num_insts d and nn = Design.num_nets d in
+  let t =
+    { d;
+      config;
+      nn;
+      arrival = Array.make (max nn 1) neg_infinity;
+      slew = Array.make (max nn 1) config.Analysis.input_slew_ps;
+      from_inst = Array.make (max nn 1) (-1);
+      from_pin = Array.make (max nn 1) (-1);
+      seed_arr = Array.make (max nn 1) neg_infinity;
+      total_cap = Array.make (max nn 1) 0.0;
+      elm_keys = Array.make (max nn 1) empty_ints;
+      elm_vals = Array.make (max nn 1) empty_floats;
+      driver = Array.make (max nn 1) (-1);
+      required = Array.make (max nn 1) infinity;
+      ni;
+      considered = Array.make (max ni 1) false;
+      launch = Array.make (max ni 1) false;
+      slow = Array.make (max ni 1) false;
+      level = Array.make (max ni 1) 0;
+      ck_pin = Array.make (max ni 1) (-1);
+      out_pin = Array.make (max ni 1) (-1);
+      arc_lo = Array.make (max ni 1) 0;
+      arc_hi = Array.make (max ni 1) 0;
+      na = 0;
+      a_from = empty_ints;
+      a_to = empty_ints;
+      a_arc = [||];
+      max_level = 0;
+      order = empty_ints;
+      order_valid = false;
+      required_valid = false }
+  in
+  for iid = 0 to ni - 1 do
+    sync_inst t iid
+  done;
+  for nid = 0 to nn - 1 do
+    sync_net t nid;
+    update_rc t nid rc.(nid)
+  done;
+  levelize t;
+  rebuild_order t;
+  t
+
+(* ---- required times / slacks ---- *)
+
+let ck_arrival t iid =
+  let ck = t.ck_pin.(iid) in
+  if ck < 0 then 0.0
+  else begin
+    let cknet = (Design.inst t.d iid).Design.conns.(ck) in
+    if cknet >= 0 && t.arrival.(cknet) > neg_infinity then
+      t.arrival.(cknet) +. elmore t cknet ~inst:iid ~pin:ck
+    else 0.0
+  end
+
+(* min over the net's consumers: setup checks at sequential data pins
+   (period + capture latency - setup - wire), plus propagation through
+   combinational consumers (required at their output minus the arc delay
+   the forward pass would use). Clock-network nets keep +inf — hold/clock
+   checks are out of scope, exactly as in Slack.report. *)
+let required_of t nid =
+  let d = t.d in
+  let req = ref infinity in
+  List.iter
+    (fun (sid, pin) ->
+      if sid < t.ni && t.considered.(sid) then begin
+        let s = Design.inst d sid in
+        let cell = s.Design.cell in
+        (if cell.Cell.sequential && s.Design.domain >= 0
+            && s.Design.domain < Array.length d.Design.domains then
+           match Cell.data_pin cell with
+           | Some dp when dp = pin ->
+             let period = d.Design.domains.(s.Design.domain).Design.period_ps in
+             let c =
+               period +. ck_arrival t sid -. cell.Cell.setup -. elmore t nid ~inst:sid ~pin
+             in
+             if c < !req then req := c
+           | _ -> ());
+        if (not t.launch.(sid)) && t.arrival.(nid) > neg_infinity then
+          for k = t.arc_lo.(sid) to t.arc_hi.(sid) - 1 do
+            if t.a_from.(k) = pin then begin
+              let m = s.Design.conns.(t.a_to.(k)) in
+              if m >= 0 && t.required.(m) < infinity then begin
+                let e = elmore t nid ~inst:sid ~pin in
+                let ps = t.slew.(nid) +. (2.0 *. e) in
+                let a = t.a_arc.(k) in
+                let dl = Lut.eval a.Cell.delay ~slew:ps ~load:t.total_cap.(m) in
+                let c = t.required.(m) -. dl.Lut.value -. e in
+                if c < !req then req := c
+              end
+            end
+          done
+      end)
+    (Design.net d nid).Design.sinks;
+  !req
+
+let net_level t nid = if t.driver.(nid) >= 0 then t.level.(t.driver.(nid)) else 0
+
+(* full backward pass, descending net level (a net's required depends only
+   on required values at strictly higher levels) *)
+let compute_required t =
+  let buckets = Array.make (t.max_level + 1) [] in
+  for nid = t.nn - 1 downto 0 do
+    t.required.(nid) <- infinity;
+    buckets.(net_level t nid) <- nid :: buckets.(net_level t nid)
+  done;
+  for l = t.max_level downto 0 do
+    List.iter (fun nid -> t.required.(nid) <- required_of t nid) buckets.(l)
+  done;
+  t.required_valid <- true
+
+let required t nid = t.required.(nid)
+
+let net_slack t nid =
+  if t.arrival.(nid) > neg_infinity && t.required.(nid) < infinity then
+    Some (t.required.(nid) -. t.arrival.(nid))
+  else None
+
+(* endpoint slacks, mirroring Slack.report term for term *)
+let slack t =
+  let d = t.d in
+  let acc = ref [] in
+  Design.iter_insts d (fun i ->
+      if i.Design.cell.Cell.sequential && i.Design.domain >= 0
+         && i.Design.domain < Array.length d.Design.domains then begin
+        match Cell.data_pin i.Design.cell with
+        | Some dp ->
+          let dnet = i.Design.conns.(dp) in
+          if dnet >= 0 && t.arrival.(dnet) > neg_infinity then begin
+            let arr = t.arrival.(dnet) +. elmore t dnet ~inst:i.Design.id ~pin:dp in
+            let capture = ck_arrival t i.Design.id in
+            let period = d.Design.domains.(i.Design.domain).Design.period_ps in
+            let slack = period +. capture -. (arr +. i.Design.cell.Cell.setup) in
+            acc :=
+              { Slack.ff = i.Design.id; Slack.domain = i.Design.domain;
+                Slack.slack_ps = slack }
+              :: !acc
+          end
+        | None -> ()
+      end);
+  let endpoints = List.sort (fun x y -> compare x.Slack.slack_ps y.Slack.slack_ps) !acc in
+  let wns = match endpoints with [] -> 0.0 | e :: _ -> e.Slack.slack_ps in
+  let tns =
+    List.fold_left
+      (fun s (e : Slack.endpoint_slack) ->
+        if e.Slack.slack_ps < 0.0 then s +. e.Slack.slack_ps else s)
+      0.0 endpoints
+  in
+  let violations =
+    List.length (List.filter (fun (e : Slack.endpoint_slack) -> e.Slack.slack_ps < 0.0) endpoints)
+  in
+  { Slack.endpoints; Slack.wns; Slack.tns; Slack.violations }
+
+let wns t = (slack t).Slack.wns
+
+(* nets within margin of the worst per-net slack: the lint pack's
+   critical-net artifact, read straight off the flat graph instead of the
+   zero-wireload estimator *)
+(* ---- internal surface for Sta.Incremental ---- *)
+
+let arrival t nid = t.arrival.(nid)
+let slew_of t nid = t.slew.(nid)
+let reset_slow t iid = t.slow.(iid) <- false
+let design t = t.d
+let arrival_arrays t = (t.arrival, t.slew, t.from_inst, t.from_pin)
+let required_array t = t.required
+let required_is_valid t = t.required_valid
+let set_required_valid t = t.required_valid <- true
+let driver_of t nid = t.driver.(nid)
+
+(* data nets of the sequential elements clocked by [cknet]: their setup
+   checks read the clock arrival, so a changed clock net dirties their
+   required times *)
+let data_sinks_of_clock t cknet =
+  let out = ref [] in
+  List.iter
+    (fun (sid, pin) ->
+      if sid < t.ni && t.considered.(sid) && pin = t.ck_pin.(sid) then begin
+        let s = Design.inst t.d sid in
+        match Cell.data_pin s.Design.cell with
+        | Some dp ->
+          let dnet = s.Design.conns.(dp) in
+          if dnet >= 0 then out := dnet :: !out
+        | None -> ()
+      end)
+    (Design.net t.d cknet).Design.sinks;
+  !out
+
+let critical_nets t ~margin_ps =
+  if not t.required_valid then compute_required t;
+  let worst = ref infinity in
+  for nid = 0 to t.nn - 1 do
+    match net_slack t nid with
+    | Some s -> if s < !worst then worst := s
+    | None -> ()
+  done;
+  if !worst = infinity then []
+  else begin
+    let out = ref [] in
+    for nid = t.nn - 1 downto 0 do
+      match net_slack t nid with
+      | Some s -> if s <= !worst +. margin_ps then out := nid :: !out
+      | None -> ()
+    done;
+    !out
+  end

@@ -13,6 +13,7 @@ let () =
       ("atpg", Test_atpg.suite);
       ("layout", Test_layout.suite);
       ("sta", Test_sta.suite);
+      ("incremental", Test_incremental.suite);
       ("extra", Test_extra.suite);
       ("timingfix", Test_timingfix.suite);
       ("properties", Test_props.suite);

@@ -1,0 +1,356 @@
+(* incremental STA: flat timing graph vs the reference Analysis engine,
+   worklist re-timing after ECO edits, required-time patching *)
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+module A = Sta.Analysis
+module T = Sta.Tgraph
+module I = Sta.Incremental
+
+let analysed d =
+  let fp = Layout.Floorplan.create d in
+  let pl = Layout.Place.run d fp in
+  let rt = Layout.Route.run pl in
+  let rc = Layout.Extract.run pl rt in
+  (pl, rt, rc)
+
+let bits = Int64.bits_of_float
+
+let check_floats_bitwise msg (a : float array) (b : float array) =
+  Alcotest.(check int) (msg ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if bits x <> bits b.(i) then
+        Alcotest.failf "%s: index %d: %h <> %h" msg i x b.(i))
+    a
+
+(* full structural equality of two Analysis.t results (paths, breakdowns,
+   provenance) plus bitwise equality of the per-net arrays *)
+let check_analysis_equal msg (x : A.t) (y : A.t) =
+  check_floats_bitwise (msg ^ " arrival") x.A.arrival y.A.arrival;
+  check_floats_bitwise (msg ^ " slew") x.A.slew y.A.slew;
+  Alcotest.(check int) (msg ^ " slow_nodes") x.A.slow_nodes y.A.slow_nodes;
+  Alcotest.(check bool) (msg ^ " per_domain") true (x.A.per_domain = y.A.per_domain);
+  Alcotest.(check bool) (msg ^ " worst") true (x.A.worst = y.A.worst)
+
+let check_tgraph_matches msg pl rc =
+  let full = A.run pl rc in
+  let tg = T.compile pl.Layout.Place.design rc in
+  T.propagate tg;
+  let inc = T.analysis tg in
+  check_analysis_equal msg full inc;
+  tg
+
+let test_tgraph_mini () =
+  let d = Helpers.mini_design () in
+  let pl, _, rc = analysed d in
+  ignore (check_tgraph_matches "mini" pl rc)
+
+let test_tgraph_tiny () =
+  let d = Circuits.Bench.tiny ~ffs:40 ~gates:500 () in
+  let pl, _, rc = analysed d in
+  ignore (check_tgraph_matches "tiny" pl rc)
+
+let test_tgraph_full_flow () =
+  (* post-CTS, post-TPI design straight out of the pipeline: clock trees,
+     test points, scan chains, fillers *)
+  let d = Circuits.Bench.tiny ~seed:7 ~ffs:60 ~gates:600 () in
+  let options = { Flow.Pipeline.default_options with Flow.Pipeline.tp_percent = 3.0 } in
+  let r = Flow.Pipeline.run ~options d in
+  let full = A.run r.Flow.Pipeline.placement r.Flow.Pipeline.rc in
+  let tg = T.compile r.Flow.Pipeline.design r.Flow.Pipeline.rc in
+  T.propagate tg;
+  check_analysis_equal "pipeline design" full (T.analysis tg)
+
+let test_tgraph_pool_identical () =
+  let d = Circuits.Bench.tiny ~seed:3 ~ffs:60 ~gates:800 () in
+  let pl, _, rc = analysed d in
+  let tg = T.compile pl.Layout.Place.design rc in
+  T.propagate tg;
+  let seq = T.analysis tg in
+  Par.Pool.with_pool ~domains:4 (fun pool ->
+      T.propagate ~pool tg;
+      check_analysis_equal "pool vs seq" seq (T.analysis tg))
+
+let test_tgraph_wns_matches_slack_report () =
+  let d = Circuits.Bench.tiny ~seed:11 ~ffs:50 ~gates:400 () in
+  let pl, _, rc = analysed d in
+  let a = A.run pl rc in
+  let expected = Sta.Slack.report pl rc a in
+  let tg = T.compile pl.Layout.Place.design rc in
+  T.propagate tg;
+  let got = T.slack tg in
+  Alcotest.(check bool) "wns" true (bits expected.Sta.Slack.wns = bits got.Sta.Slack.wns);
+  Alcotest.(check bool) "endpoints" true
+    (expected.Sta.Slack.endpoints = got.Sta.Slack.endpoints);
+  Alcotest.(check int) "violations" expected.Sta.Slack.violations got.Sta.Slack.violations
+
+let test_required_consistent () =
+  (* on every net that has both, slack(net) >= wns of the endpoint report
+     (required times are endpoint constraints propagated backward) *)
+  let d = Circuits.Bench.tiny ~seed:5 ~ffs:40 ~gates:400 () in
+  let pl, _, rc = analysed d in
+  let tg = T.compile pl.Layout.Place.design rc in
+  T.propagate tg;
+  T.compute_required tg;
+  let wns = (T.slack tg).Sta.Slack.wns in
+  let min_net_slack = ref infinity in
+  for nid = 0 to T.num_nets tg - 1 do
+    match T.net_slack tg nid with
+    | Some s ->
+      if s < !min_net_slack then min_net_slack := s;
+      if s < wns -. 1e-6 then
+        Alcotest.failf "net %d slack %.3f below wns %.3f" nid s wns
+    | None -> ()
+  done;
+  (* the critical endpoint's data net carries exactly the wns *)
+  Alcotest.(check bool) "worst net slack = wns" true
+    (Float.abs (!min_net_slack -. wns) < 1e-6)
+
+(* ---- ECO context: every edit must leave the context byte-identical to a
+   from-scratch route/extract/analyse of the same mutated design ---- *)
+
+let check_ctx_matches_full msg (ctx : Flow.Retime.t) =
+  let pl = Flow.Retime.placement ctx in
+  let rt = Layout.Route.run pl in
+  let rc = Layout.Extract.run pl rt in
+  let full = A.run pl rc in
+  check_analysis_equal msg full (Flow.Retime.analysis ctx);
+  let crc = Flow.Retime.rc ctx in
+  Array.iteri
+    (fun nid (r : Layout.Extract.net_rc) ->
+      let c = crc.(nid) in
+      if bits r.Layout.Extract.total_cap_ff <> bits c.Layout.Extract.total_cap_ff
+         || r.Layout.Extract.sink_delays <> c.Layout.Extract.sink_delays then
+        Alcotest.failf "%s: rc mismatch on net %d" msg nid)
+    rc;
+  let crt = Flow.Retime.route ctx in
+  Alcotest.(check bool) (msg ^ " route total") true
+    (bits rt.Layout.Route.total_wirelength = bits crt.Layout.Route.total_wirelength);
+  Alcotest.(check int) (msg ^ " overflow") rt.Layout.Route.overflowed_gcells
+    crt.Layout.Route.overflowed_gcells
+
+let eco_ctx ?(seed = 9) ?(ffs = 50) ?(gates = 500) ?(tp_percent = 2.0) () =
+  let d = Circuits.Bench.tiny ~seed ~ffs ~gates () in
+  let options = { Flow.Pipeline.default_options with Flow.Pipeline.tp_percent } in
+  let r = Flow.Pipeline.run ~options d in
+  Flow.Retime.create r.Flow.Pipeline.placement r.Flow.Pipeline.route r.Flow.Pipeline.rc
+
+(* a net suitable for tapping: cell-driven, with at least one sink *)
+let pick_nets d k =
+  let acc = ref [] in
+  let nn = Design.num_nets d in
+  let step = max 1 (nn / (4 * k)) in
+  let i = ref 0 in
+  while List.length !acc < k && !i < nn do
+    let n = Design.net d !i in
+    (match n.Design.driver with
+     | Design.Cell_pin (iid, _)
+       when n.Design.sinks <> []
+            && (Design.inst d iid).Design.cell.Cell.kind <> Cell.Tsff ->
+       acc := !i :: !acc
+     | _ -> ());
+    i := !i + step
+  done;
+  List.rev !acc
+
+let test_eco_tp_insert () =
+  let ctx = eco_ctx () in
+  let nets = pick_nets (Flow.Retime.design ctx) 3 in
+  List.iteri
+    (fun k net ->
+      let _, stats = Flow.Retime.insert_tp ctx ~net in
+      Alcotest.(check bool) "cone evaluated" true (stats.I.insts_evaluated > 0);
+      check_ctx_matches_full (Printf.sprintf "tp eco %d" k) ctx)
+    nets
+
+let test_eco_upsize () =
+  let ctx = eco_ctx ~seed:13 () in
+  let d = Flow.Retime.design ctx in
+  (* upsize a few upsizable combinational cells *)
+  let done_ = ref 0 in
+  let iid = ref 0 in
+  while !done_ < 3 && !iid < Design.num_insts d do
+    let i = Design.inst d !iid in
+    if (not i.Design.cell.Cell.sequential)
+       && Stdcell.Library.upsize d.Design.lib i.Design.cell <> None
+       && Layout.Place.is_placed (Flow.Retime.placement ctx) !iid
+    then begin
+      (match Flow.Retime.upsize ctx ~inst:!iid with
+       | Some _ -> incr done_
+       | None -> ());
+      check_ctx_matches_full (Printf.sprintf "upsize eco %d" !done_) ctx
+    end;
+    iid := !iid + 17
+  done;
+  Alcotest.(check bool) "upsized some" true (!done_ > 0)
+
+let test_eco_buffer () =
+  let ctx = eco_ctx ~seed:21 ~tp_percent:0.0 () in
+  let nets = pick_nets (Flow.Retime.design ctx) 2 in
+  List.iteri
+    (fun k net ->
+      let _, stats = Flow.Retime.insert_buffer ctx ~net in
+      Alcotest.(check bool) "cone evaluated" true (stats.I.insts_evaluated > 0);
+      check_ctx_matches_full (Printf.sprintf "buffer eco %d" k) ctx)
+    nets
+
+let test_eco_cone_bounded () =
+  (* the re-timed cone after one TP insert stays well below the design *)
+  let ctx = eco_ctx ~seed:17 ~ffs:80 ~gates:1200 () in
+  let d = Flow.Retime.design ctx in
+  let net = List.hd (pick_nets d 1) in
+  let _, stats = Flow.Retime.insert_tp ctx ~net in
+  let total = Design.num_insts d in
+  Alcotest.(check bool)
+    (Printf.sprintf "cone %d of %d insts" stats.I.insts_evaluated total)
+    true
+    (stats.I.insts_evaluated < total / 2)
+
+let test_timingfix_modes_equal () =
+  (* the per-edit incremental engine must reproduce the per-pass engine's
+     report bit for bit: two identical designs, one run each way *)
+  let mk () =
+    let d = Circuits.Bench.tiny ~seed:29 ~ffs:40 ~gates:400 () in
+    let fp = Layout.Floorplan.create d in
+    Layout.Place.run d fp
+  in
+  let full = Flow.Timingfix.run ~mode:Flow.Timingfix.Full_sta (mk ()) in
+  let inc = Flow.Timingfix.run ~mode:Flow.Timingfix.Incremental_sta (mk ()) in
+  Alcotest.(check int) "rounds" full.Flow.Timingfix.rounds inc.Flow.Timingfix.rounds;
+  Alcotest.(check int) "upsized" full.Flow.Timingfix.upsized_cells
+    inc.Flow.Timingfix.upsized_cells;
+  List.iter
+    (fun (name, a, b) ->
+      if bits a <> bits b then Alcotest.failf "%s: %h <> %h" name a b)
+    [ ("t_cp_before", full.Flow.Timingfix.t_cp_before, inc.Flow.Timingfix.t_cp_before);
+      ("t_cp_after", full.Flow.Timingfix.t_cp_after, inc.Flow.Timingfix.t_cp_after);
+      ("area_after", full.Flow.Timingfix.cell_area_after, inc.Flow.Timingfix.cell_area_after);
+      ( "wirelength",
+        full.Flow.Timingfix.route.Layout.Route.total_wirelength,
+        inc.Flow.Timingfix.route.Layout.Route.total_wirelength ) ];
+  check_analysis_equal "final sta" full.Flow.Timingfix.sta inc.Flow.Timingfix.sta
+
+let test_pipeline_sta_modes_equal () =
+  let mk () = Circuits.Bench.tiny ~seed:31 ~ffs:40 ~gates:400 () in
+  let opts mode =
+    { Flow.Pipeline.default_options with
+      Flow.Pipeline.tp_percent = 2.0;
+      run_atpg = false;
+      sta_mode = mode }
+  in
+  let full = Flow.Pipeline.run ~options:(opts Flow.Pipeline.Full_sta) (mk ()) in
+  let inc = Flow.Pipeline.run ~options:(opts Flow.Pipeline.Incremental_sta) (mk ()) in
+  check_analysis_equal "pipeline sta modes" full.Flow.Pipeline.sta inc.Flow.Pipeline.sta;
+  Alcotest.(check bool) "graph kept alive" true (inc.Flow.Pipeline.tgraph <> None);
+  Alcotest.(check bool) "full mode has no graph" true (full.Flow.Pipeline.tgraph = None)
+
+let test_sweep_eco () =
+  let s = Flow.Experiment.sweep_eco ~tp_levels:[ 1; 2; 3 ] ~scale:0.05 "s38417" in
+  let counts = List.map (fun r -> r.Flow.Experiment.e_tp_count) s.Flow.Experiment.eco_rows in
+  Alcotest.(check bool) "cumulative tp counts" true (List.sort compare counts = counts);
+  Alcotest.(check bool) "inserted some" true (List.nth counts 2 > 0);
+  List.iter
+    (fun (r : Flow.Experiment.eco_row) ->
+      Alcotest.(check bool) "tcp positive" true (r.Flow.Experiment.e_tcp > 0.0))
+    s.Flow.Experiment.eco_rows;
+  (* the live context is still exact after the whole sweep *)
+  check_ctx_matches_full "post-sweep" s.Flow.Experiment.eco_ctx
+
+(* QCheck: on a random design, a random sequence of ECO edits (TP insert,
+   buffer insert, gate resize) leaves the context equal to a from-scratch
+   full run after EVERY edit — the incremental timing contract *)
+let gen_eco_case =
+  QCheck.make
+    ~print:(fun (seed, edits) ->
+      Printf.sprintf "seed=%d edits=[%s]" seed
+        (String.concat ";"
+           (List.map (fun (k, i) -> Printf.sprintf "(%d,%d)" k i) edits)))
+    QCheck.Gen.(
+      pair (int_range 1 10_000)
+        (list_size (int_range 3 6) (pair (int_range 0 2) (int_range 0 1_000))))
+
+let upsizable_insts d =
+  let acc = ref [] in
+  Design.iter_insts d (fun i ->
+      if Stdcell.Library.upsize d.Design.lib i.Design.cell <> None then
+        acc := i.Design.id :: !acc);
+  Array.of_list (List.rev !acc)
+
+let prop_random_eco_sequence =
+  QCheck.Test.make ~name:"random ECO sequences stay exact" ~count:6 gen_eco_case
+    (fun (seed, edits) ->
+      let d = Circuits.Bench.tiny ~seed ~ffs:30 ~gates:250 () in
+      let options =
+        { Flow.Pipeline.default_options with
+          Flow.Pipeline.tp_percent = 1.0;
+          run_atpg = false }
+      in
+      let r = Flow.Pipeline.run ~options d in
+      let ctx =
+        Flow.Retime.create r.Flow.Pipeline.placement r.Flow.Pipeline.route
+          r.Flow.Pipeline.rc
+      in
+      List.for_all
+        (fun (kind, pick) ->
+          let d = Flow.Retime.design ctx in
+          (match kind with
+           | 0 ->
+             let nets = pick_nets d 8 in
+             let net = List.nth nets (pick mod List.length nets) in
+             ignore (Flow.Retime.insert_tp ctx ~net)
+           | 1 ->
+             let nets = pick_nets d 8 in
+             let net = List.nth nets (pick mod List.length nets) in
+             ignore (Flow.Retime.insert_buffer ctx ~net)
+           | _ ->
+             let ups = upsizable_insts d in
+             ignore (Flow.Retime.upsize ctx ~inst:ups.(pick mod Array.length ups)));
+          let pl = Flow.Retime.placement ctx in
+          let rt = Layout.Route.run pl in
+          let rc = Layout.Extract.run pl rt in
+          let full = A.run pl rc in
+          let inc = Flow.Retime.analysis ctx in
+          Array.for_all2 (fun a b -> bits a = bits b) full.A.arrival inc.A.arrival
+          && Array.for_all2 (fun a b -> bits a = bits b) full.A.slew inc.A.slew
+          && full.A.per_domain = inc.A.per_domain
+          && full.A.worst = inc.A.worst
+          && full.A.slow_nodes = inc.A.slow_nodes)
+        edits)
+
+let test_lint_reuses_graph () =
+  let d = Circuits.Bench.tiny ~seed:41 ~ffs:40 ~gates:400 () in
+  let options =
+    { Flow.Pipeline.default_options with
+      Flow.Pipeline.tp_percent = 3.0;
+      run_atpg = false;
+      lint = true;
+      sta_mode = Flow.Pipeline.Incremental_sta }
+  in
+  let r = Flow.Pipeline.run ~options d in
+  match r.Flow.Pipeline.lint_report with
+  | None -> Alcotest.fail "no post-layout lint report"
+  | Some rep ->
+    (* only the tpi-timing pack ran, with real STA artifacts *)
+    List.iter
+      (fun (s : Lint.Engine.stat) ->
+        Alcotest.(check string) ("pack of " ^ s.Lint.Engine.rule_id) "tpi-timing"
+          s.Lint.Engine.pack)
+      rep.Lint.Engine.stats;
+    Alcotest.(check bool) "ran some rules" true (rep.Lint.Engine.stats <> [])
+
+let suite =
+  [ Alcotest.test_case "tgraph mini = analysis" `Quick test_tgraph_mini;
+    Alcotest.test_case "tgraph tiny = analysis" `Quick test_tgraph_tiny;
+    Alcotest.test_case "tgraph full flow = analysis" `Quick test_tgraph_full_flow;
+    Alcotest.test_case "tgraph pool bit-identical" `Quick test_tgraph_pool_identical;
+    Alcotest.test_case "tgraph wns = slack report" `Quick test_tgraph_wns_matches_slack_report;
+    Alcotest.test_case "required times consistent" `Quick test_required_consistent;
+    Alcotest.test_case "eco tp insert = full rerun" `Quick test_eco_tp_insert;
+    Alcotest.test_case "eco upsize = full rerun" `Quick test_eco_upsize;
+    Alcotest.test_case "eco buffer = full rerun" `Quick test_eco_buffer;
+    Alcotest.test_case "eco cone bounded" `Quick test_eco_cone_bounded;
+    Alcotest.test_case "timingfix modes equal" `Quick test_timingfix_modes_equal;
+    Alcotest.test_case "pipeline sta modes equal" `Quick test_pipeline_sta_modes_equal;
+    Alcotest.test_case "eco sweep exact" `Quick test_sweep_eco;
+    Alcotest.test_case "lint reuses graph" `Quick test_lint_reuses_graph;
+    QCheck_alcotest.to_alcotest prop_random_eco_sequence ]

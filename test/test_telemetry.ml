@@ -328,6 +328,62 @@ let test_perfgate_skips_missing () =
   Alcotest.(check int) "all five skipped" 5 (List.length v.PG.skipped);
   Alcotest.(check int) "no violations from absence" 0 (List.length v.PG.violations)
 
+let test_perfgate_incremental_section () =
+  let doc ~speedup =
+    J.Obj
+      [ ("incremental",
+         J.Obj
+           [ ("kernels",
+              J.List
+                [ J.Obj
+                    [ ("name", J.String "single-tp-retime");
+                      ("speedup", J.Float speedup) ] ]) ]) ]
+  in
+  let metrics = PG.gated_metrics (doc ~speedup:8.0) in
+  Alcotest.(check int) "one gated metric" 1 (List.length metrics);
+  (match metrics with
+   | [ (name, dir, v) ] ->
+     Alcotest.(check string) "metric path" "incremental/single-tp-retime/speedup" name;
+     Alcotest.(check bool) "higher is better" true (dir = PG.Higher_better);
+     Alcotest.(check (float 0.0)) "value" 8.0 v
+   | _ -> Alcotest.fail "unexpected metric shape");
+  (* a collapsed speedup trips the gate like any other metric *)
+  let v =
+    PG.compare_docs ~baseline:(doc ~speedup:8.0) ~current:(doc ~speedup:1.0)
+      ~tolerance_pct:25.0
+  in
+  Alcotest.(check int) "violation named" 1 (List.length v.PG.violations)
+
+let test_perfgate_host_cores_skip () =
+  let doc ~cores ~speedup =
+    J.Obj
+      [ ("parallel",
+         J.Obj
+           [ ("host_cores", J.Int cores);
+             ("kernels",
+              J.List
+                [ J.Obj [ ("name", J.String "par-x"); ("speedup", J.Float speedup) ] ])
+           ]);
+        ("serve", J.Obj [ ("p95_ms", J.Float 500.0) ]) ]
+  in
+  (* a 4-core baseline against a 1-core runner: the halved speedup is
+     hardware, not regression -- skipped, while serve is still gated *)
+  let v =
+    PG.compare_docs ~baseline:(doc ~cores:4 ~speedup:3.0)
+      ~current:(doc ~cores:1 ~speedup:1.0) ~tolerance_pct:10.0
+  in
+  Alcotest.(check int) "parallel skipped" 1 (List.length v.PG.skipped);
+  Alcotest.(check bool) "skip names the metric" true
+    (List.mem "parallel/par-x/speedup" v.PG.skipped);
+  Alcotest.(check int) "serve still checked" 1 v.PG.checked;
+  Alcotest.(check int) "no violations from hardware" 0 (List.length v.PG.violations);
+  (* same core count: the identical regression is a real violation *)
+  let v' =
+    PG.compare_docs ~baseline:(doc ~cores:4 ~speedup:3.0)
+      ~current:(doc ~cores:4 ~speedup:1.0) ~tolerance_pct:10.0
+  in
+  Alcotest.(check int) "same cores gate normally" 1 (List.length v'.PG.violations)
+
 let test_perfgate_degraded_baseline_fails () =
   (* the CI scenario: a synthetically "better" baseline (faster kernels,
      higher speedups than we can measure) must trip the gate *)
@@ -470,6 +526,10 @@ let suite =
       test_perfgate_skips_missing;
     Alcotest.test_case "perfgate: degraded baseline trips" `Quick
       test_perfgate_degraded_baseline_fails;
+    Alcotest.test_case "perfgate: incremental section gated" `Quick
+      test_perfgate_incremental_section;
+    Alcotest.test_case "perfgate: host_cores mismatch skips parallel" `Quick
+      test_perfgate_host_cores_skip;
     Alcotest.test_case "daemon: live exposition mid-job" `Quick
       test_daemon_live_prometheus_while_running;
     Alcotest.test_case "daemon: flight dump on retry exhaustion" `Quick

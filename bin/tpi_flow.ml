@@ -101,6 +101,16 @@ let sta_arg =
            Core.Pipeline.Full_sta
        & info [ "sta" ] ~docv:"MODE" ~doc)
 
+let repair_arg =
+  let doc =
+    "Run the post-route timing-repair ECO stage after STA: buffer insertion, \
+     gate up/down-sizing and commutative-pin swapping on the near-critical \
+     set, each trial individually re-timed and reverted exactly unless it \
+     improves WNS/TNS. Table 3 output then also prints the \
+     repaired-vs-unrepaired comparison."
+  in
+  Arg.(value & flag & info [ "repair" ] ~doc)
+
 let lint_flag_arg =
   let doc =
     "Pre-flight every generated design through the lint engine before the first \
@@ -166,13 +176,14 @@ let validated ?scale ~circuit ~levels () =
 (* guarded sweep: under fail-fast the sweep stops at the first failed
    level; under recover/degrade every level is attempted and failures
    become degraded rows *)
-let guarded_sweep ?pool ?cache ?lint ?sta_mode spec ~policy ~retries ~atpg levels =
+let guarded_sweep ?pool ?cache ?lint ?sta_mode ?repair spec ~policy ~retries ~atpg
+    levels =
   let rec loop acc = function
     | [] -> List.rev acc
     | tp_pct :: rest ->
       let g =
-        Core.Experiment.run_one_guarded ?pool ?cache ?lint ?sta_mode ~policy ~retries
-          ~with_atpg:atpg spec ~tp_pct
+        Core.Experiment.run_one_guarded ?pool ?cache ?lint ?sta_mode ?repair ~policy
+          ~retries ~with_atpg:atpg spec ~tp_pct
       in
       let failed = g.Core.Experiment.g_report.Core.Guard.result = None in
       if failed && policy = Core.Guard.Fail_fast then List.rev (g :: acc)
@@ -181,7 +192,7 @@ let guarded_sweep ?pool ?cache ?lint ?sta_mode spec ~policy ~retries ~atpg level
   loop [] levels
 
 let run () circuit scale levels atpg tables svg_dir def_file lib_file policy retries
-    trace_file metrics_file prom_file verbose jobs cache_dir lint sta_mode =
+    trace_file metrics_file prom_file verbose jobs cache_dir lint sta_mode repair =
   match validated ?scale ~circuit ~levels () with
   | Error msg ->
     Format.eprintf "tpi_flow: %s@." msg;
@@ -196,13 +207,17 @@ let run () circuit scale levels atpg tables svg_dir def_file lib_file policy ret
   let cache = store_of_dir cache_dir in
   let grows =
     with_jobs jobs (fun pool ->
-        guarded_sweep ?pool ?cache ~lint ~sta_mode spec ~policy ~retries ~atpg levels)
+        guarded_sweep ?pool ?cache ~lint ~sta_mode ~repair spec ~policy ~retries ~atpg
+          levels)
   in
   let rows = Core.Experiment.completed_rows grows in
   if rows <> [] then begin
     if List.mem 1 tables && atpg then print_string (Core.Report.table1 rows);
     if List.mem 2 tables then print_string (Core.Report.table2 rows);
-    if List.mem 3 tables then print_string (Core.Report.table3 rows)
+    if List.mem 3 tables then begin
+      print_string (Core.Report.table3 rows);
+      if repair then print_string (Core.Report.table3_repaired rows)
+    end
   end;
   print_string (Core.Report.guarded_summary grows);
   (match (svg_dir, rows) with
@@ -323,10 +338,10 @@ let run_term =
   Term.(const run $ telemetry_term $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg
         $ tables_arg $ svg_arg $ def_arg $ lib_arg $ policy_arg $ retries_arg
         $ trace_arg $ metrics_arg $ prom_arg $ verbose_arg $ jobs_arg $ cache_arg
-        $ lint_flag_arg $ sta_arg)
+        $ lint_flag_arg $ sta_arg $ repair_arg)
 
 let selftest_cmd =
-  let doc = "Run the guarded-flow fault-injection selftest (10 mutation classes)." in
+  let doc = "Run the guarded-flow fault-injection selftest (11 mutation classes)." in
   Cmd.v (Cmd.info "selftest" ~doc)
     Term.(const selftest $ telemetry_term $ selftest_ffs_arg $ selftest_gates_arg
           $ jobs_arg)
@@ -495,8 +510,8 @@ let client_prom_arg =
   let doc = "Print the daemon's live Prometheus text exposition and exit." in
   Arg.(value & flag & info [ "prom" ] ~doc)
 
-let client circuit scale levels atpg tables policy socket_path id priority deadline_ms
-    ping stats prom =
+let client circuit scale levels atpg tables policy repair socket_path id priority
+    deadline_ms ping stats prom =
   match Core.Serve_client.connect ~socket_path with
   | exception Unix.Unix_error (err, _, _) ->
     Format.eprintf "tpi_flow client: cannot reach %s: %s@." socket_path
@@ -533,7 +548,8 @@ let client circuit scale levels atpg tables policy socket_path id priority deadl
         else begin
           let req =
             Core.Serve_client.submit_line ~id ~priority ?deadline_ms ~circuit ?scale
-              ~levels ~atpg ~tables ~policy:(Core.Guard.policy_name policy) ()
+              ~levels ~atpg ~repair ~tables
+              ~policy:(Core.Guard.policy_name policy) ()
           in
           let o = Core.Serve_client.run_job c req in
           match (o.Core.Serve_client.output, o.Core.Serve_client.error) with
@@ -647,8 +663,8 @@ let client_cmd =
   in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(const client $ circuit_arg $ scale_arg $ levels_arg $ atpg_arg $ tables_arg
-          $ policy_arg $ socket_arg $ client_id_arg $ priority_arg $ deadline_arg
-          $ ping_arg $ stats_arg $ client_prom_arg)
+          $ policy_arg $ repair_arg $ socket_arg $ client_id_arg $ priority_arg
+          $ deadline_arg $ ping_arg $ stats_arg $ client_prom_arg)
 
 let cmd =
   let doc = "Reproduce 'Impact of Test Point Insertion on Silicon Area and Timing during Layout' (DATE 2004)" in

@@ -79,9 +79,19 @@ let parse ?(name = "iscas") ?(period_ps = 8000.0) src =
     incr counter;
     Design.add_instance d ~name:(Printf.sprintf "u%d" !counter) ~cell:(Stdcell.Library.min_drive_strength lib kind)
   in
+  (* a malformed operand list here is a mapper bug, not a user error, but
+     it still surfaces as a typed Parse_error carrying the mapper state
+     instead of an assertion crash *)
+  let internal_error what =
+    raise
+      (Parse_error
+         (0,
+          Printf.sprintf "internal: %s (after %d mapped cells, %d nets)" what
+            !counter (Hashtbl.length nets)))
+  in
   (* reduce an n-ary associative function to a tree of 2-input cells *)
   let rec reduce kind2 = function
-    | [] -> assert false
+    | [] -> internal_error ("empty " ^ Cell.kind_name kind2 ^ " reduction")
     | [ last ] -> last
     | a :: b :: rest ->
       let g = fresh_cell kind2 in
@@ -98,7 +108,7 @@ let parse ?(name = "iscas") ?(period_ps = 8000.0) src =
   in
   let binary_root kind2 ins out_net =
     match ins with
-    | [] -> assert false
+    | [] -> internal_error ("rootless " ^ Cell.kind_name kind2 ^ " gate")
     | [ a ] -> unary Cell.Buf a out_net
     | [ a; b ] ->
       let g = fresh_cell kind2 in
@@ -122,7 +132,7 @@ let parse ?(name = "iscas") ?(period_ps = 8000.0) src =
            Design.connect d ~inst:g.Design.id ~pin:0 ~net:prefix;
            Design.connect d ~inst:g.Design.id ~pin:1 ~net:last;
            Design.connect d ~inst:g.Design.id ~pin:2 ~net:out_net
-         | [] -> assert false)
+         | [] -> internal_error ("empty " ^ Cell.kind_name kind2 ^ " operand split"))
   in
   List.iter
     (function

@@ -9,6 +9,10 @@ type pool_entry = {
   mutable uses : int;
 }
 
+exception Generation_error of string
+(* invariant breaks in the generator surface as typed errors carrying the
+   generator state at the point of failure, never as assertion crashes *)
+
 type state = {
   d : Design.t;
   rng : Rng.t;
@@ -256,7 +260,12 @@ let decoder_block st ~bus_nets ~body_gates ~ff_sink =
       bus_nets
   in
   let rec reduce = function
-    | [] -> assert false
+    | [] ->
+      raise
+        (Generation_error
+           (Printf.sprintf
+              "decoder comparator over an empty bus (%d body gates requested, %d gates made)"
+              body_gates st.gates_made))
     | [ last ] -> last
     | a :: b :: rest -> reduce (rest @ [ new_gate_nets st Cell.And2 [ a; b ] ])
   in
@@ -321,7 +330,11 @@ let mop_up st =
     (fun idx e -> if e.uses = 0 && e.plevel > 0 then leftovers := idx :: !leftovers)
     st.pool;
   let rec reduce = function
-    | [] -> assert false
+    | [] ->
+      raise
+        (Generation_error
+           (Printf.sprintf "mop-up XOR tree over an empty chunk (pool size %d)"
+              (Vec.length st.pool)))
     | [ last ] -> last
     | a :: b :: rest -> reduce (rest @ [ new_gate st Cell.Xor2 [ a; b ] ])
   in
@@ -417,7 +430,12 @@ let generate (p : Profile.t) =
       | [ dom ], _ -> dom
       | dom :: _, s :: _ when x < acc +. s -> dom
       | _ :: doms', s :: shs' -> walk (acc +. s) doms' shs'
-      | _ -> assert false
+      | _ ->
+        raise
+          (Generation_error
+             (Printf.sprintf
+                "flip-flop %d: %d clock domains but %d FF shares (position %.3f, share prefix %.3f)"
+                k (List.length domain_ids) (List.length shares) x acc))
     in
     walk 0.0 domain_ids shares
   in

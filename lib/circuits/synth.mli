@@ -10,6 +10,15 @@
     and test points are inserted later by the [scan] and [tpi] passes, as in
     the paper's flow. *)
 
+exception Generation_error of string
+(** An internal generator invariant broke (empty reduction tree, exhausted
+    domain shares, ...); the message carries the generator state at the
+    point of failure. Distinct from [Invalid_argument], which
+    {!Profile.validate} raises for inconsistent profiles before generation
+    starts. *)
+
 val generate : Profile.t -> Netlist.Design.t
 (** Deterministic in [profile.seed]. The result passes
-    [Netlist.Check.assert_clean] and is acyclic. *)
+    [Netlist.Check.assert_clean] and is acyclic. Raises [Invalid_argument]
+    on an inconsistent profile ({!Profile.validate}) and
+    {!Generation_error} if an internal invariant breaks mid-generation. *)

@@ -30,7 +30,7 @@ type row = {
 }
 
 let options_of ?pool ?cache ?cancel ?(lint = false)
-    ?(sta_mode = Pipeline.Full_sta) spec ~with_atpg ~tp_pct =
+    ?(sta_mode = Pipeline.Full_sta) ?(repair = false) spec ~with_atpg ~tp_pct =
   { Pipeline.default_options with
     Pipeline.tp_percent = float_of_int tp_pct;
     chain_config = spec.chain_config;
@@ -40,7 +40,8 @@ let options_of ?pool ?cache ?cancel ?(lint = false)
     cache;
     cancel;
     lint;
-    sta_mode }
+    sta_mode;
+    repair }
 
 (* design generation is level-invariant: with a cache every level of the
    fan-out shares one generator run (the store single-flights concurrent
@@ -56,10 +57,12 @@ let generate ?cache spec =
     in
     Cache.Store.memo store ~key mk
 
-let run_one ?pool ?cache ?lint ?sta_mode ?(with_atpg = true) spec ~tp_pct =
+let run_one ?pool ?cache ?lint ?sta_mode ?repair ?(with_atpg = true) spec ~tp_pct =
   let d = generate ?cache spec in
   let result =
-    Pipeline.run ~options:(options_of ?pool ?cache ?lint ?sta_mode spec ~with_atpg ~tp_pct) d
+    Pipeline.run
+      ~options:(options_of ?pool ?cache ?lint ?sta_mode ?repair spec ~with_atpg ~tp_pct)
+      d
   in
   { spec; tp_pct; result }
 
@@ -74,11 +77,11 @@ let fan_levels pool tp_levels f =
     Array.to_list (Par.Pool.parallel_map p ~n:(Array.length arr) (fun i -> f arr.(i)))
   | _ -> List.map f tp_levels
 
-let sweep ?pool ?cache ?lint ?sta_mode ?(with_atpg = true)
+let sweep ?pool ?cache ?lint ?sta_mode ?repair ?(with_atpg = true)
     ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
   let spec = spec_for ?scale circuit in
   fan_levels pool tp_levels (fun tp_pct ->
-      run_one ?pool ?cache ?lint ?sta_mode ~with_atpg spec ~tp_pct)
+      run_one ?pool ?cache ?lint ?sta_mode ?repair ~with_atpg spec ~tp_pct)
 
 type guarded_row = {
   g_spec : spec;
@@ -87,10 +90,12 @@ type guarded_row = {
 }
 
 let run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage ?lint
-    ?sta_mode ?(with_atpg = true) spec ~tp_pct =
+    ?sta_mode ?repair ?(with_atpg = true) spec ~tp_pct =
   let report =
     Guard.run ?policy ?retries ?tamper ?on_stage ~circuit:spec.circuit
-      ~options:(options_of ?pool ?cache ?cancel ?lint ?sta_mode spec ~with_atpg ~tp_pct)
+      ~options:
+        (options_of ?pool ?cache ?cancel ?lint ?sta_mode ?repair spec ~with_atpg
+           ~tp_pct)
       (fun () -> generate ?cache spec)
   in
   { g_spec = spec; g_tp_pct = tp_pct; g_report = report }
@@ -98,11 +103,12 @@ let run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage ?lin
 (* guarded sweep: a failed level becomes a degraded row instead of killing
    the whole experiment matrix *)
 let sweep_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage ?lint
-    ?sta_mode ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ]) ?scale circuit =
+    ?sta_mode ?repair ?(with_atpg = true) ?(tp_levels = [ 0; 1; 2; 3; 4; 5 ])
+    ?scale circuit =
   let spec = spec_for ?scale circuit in
   fan_levels pool tp_levels (fun tp_pct ->
       run_one_guarded ?pool ?cache ?policy ?retries ?tamper ?cancel ?on_stage ?lint
-        ?sta_mode ~with_atpg spec ~tp_pct)
+        ?sta_mode ?repair ~with_atpg spec ~tp_pct)
 
 let completed_rows grows =
   List.filter_map

@@ -26,19 +26,24 @@ val run_one :
   ?cache:Cache.Store.t ->
   ?lint:bool ->
   ?sta_mode:Pipeline.sta_mode ->
+  ?repair:bool ->
   ?with_atpg:bool ->
   spec ->
   tp_pct:int ->
   row
 (** [lint] (default false) turns on the {!Pipeline.preflight} gate:
     error-severity {!Lint} findings on the generated design raise
-    {!Lint.Engine.Lint_failed} before the first stage. *)
+    {!Lint.Engine.Lint_failed} before the first stage. [repair] (default
+    false) appends the step-7 {!Repair} stage, so the row's [result.sta]
+    is the repaired timing and [result.repair] carries the report
+    (including the unrepaired [pre_sta]). *)
 
 val sweep :
   ?pool:Par.Pool.t ->
   ?cache:Cache.Store.t ->
   ?lint:bool ->
   ?sta_mode:Pipeline.sta_mode ->
+  ?repair:bool ->
   ?with_atpg:bool ->
   ?tp_levels:int list ->
   ?scale:float ->
@@ -117,6 +122,7 @@ val run_one_guarded :
   ?on_stage:(Guard.stage -> Guard.stage_status -> unit) ->
   ?lint:bool ->
   ?sta_mode:Pipeline.sta_mode ->
+  ?repair:bool ->
   ?with_atpg:bool ->
   spec ->
   tp_pct:int ->
@@ -132,6 +138,7 @@ val sweep_guarded :
   ?on_stage:(Guard.stage -> Guard.stage_status -> unit) ->
   ?lint:bool ->
   ?sta_mode:Pipeline.sta_mode ->
+  ?repair:bool ->
   ?with_atpg:bool ->
   ?tp_levels:int list ->
   ?scale:float ->

@@ -7,8 +7,9 @@ type stage =
   | Eco_cts_route
   | Extract
   | Sta
+  | Repair
 
-let all_stages = [ Tpi_scan; Placement; Reorder_atpg; Eco_cts_route; Extract; Sta ]
+let all_stages = [ Tpi_scan; Placement; Reorder_atpg; Eco_cts_route; Extract; Sta; Repair ]
 
 let stage_name = function
   | Tpi_scan -> "tpi-scan"
@@ -17,6 +18,7 @@ let stage_name = function
   | Eco_cts_route -> "eco-cts-route"
   | Extract -> "extract"
   | Sta -> "sta"
+  | Repair -> "repair"
 
 type stage_error = {
   stage : stage;
@@ -180,6 +182,14 @@ let post_check ~circuit stage (st : P.state) =
   | Extract ->
     layout_check ~stage ~circuit d (Layout.Check.check_rc (Option.get st.P.s_rc))
   | Sta -> ()
+  | Repair ->
+    (* repair rewires, resizes and inserts cells post-route: re-check the
+       netlist, the (ECO-crowded) placement and the refreshed parasitics *)
+    netlist_check ~stage ~circuit d;
+    let pl = Option.get st.P.s_placement in
+    layout_check ~stage ~circuit d
+      (Layout.Check.check_placement ~overlaps:false ~margin:10.0 pl);
+    layout_check ~stage ~circuit d (Layout.Check.check_rc (Option.get st.P.s_rc))
 
 let stage_body = function
   | Tpi_scan -> P.stage_tpi_scan
@@ -188,6 +198,7 @@ let stage_body = function
   | Eco_cts_route -> P.stage_eco_route
   | Extract -> P.stage_extract
   | Sta -> P.stage_sta
+  | Repair -> P.stage_repair
 
 let m_stage_failures = Obs.Metrics.counter "guard.stage_failures"
 let m_retries = Obs.Metrics.counter "guard.retries"
@@ -201,7 +212,7 @@ let notify on_stage stage status =
   | None -> ()
   | Some f -> (try f stage status with _ -> ())
 
-(* One pass over the six stages. Returns the stage log (all six stages, in
+(* One pass over the stages. Returns the stage log (all six stages, in
    order), the reached state and the first error, never raising.
 
    Stage timing comes from the {!Obs.Trace} span clock: each stage

@@ -30,6 +30,7 @@ type stage =
   | Eco_cts_route   (** step 4: ECO + CTS + DRC + filler + routing *)
   | Extract         (** step 5: RC extraction *)
   | Sta             (** step 6: static timing analysis *)
+  | Repair          (** step 7: post-route timing repair (optional) *)
 
 val all_stages : stage list
 (** Flow order. *)

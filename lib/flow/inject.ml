@@ -13,11 +13,12 @@ type mutation =
   | Combinational_cycle
   | Undriven_net
   | Zero_length_row
+  | Orphan_repair_buffer
 
 let all =
   [ Dangling_output; Floating_input; Clock_mismatch; Broken_scan_order;
     Overlapping_placement; Out_of_core_cell; Corrupt_rc; Combinational_cycle;
-    Undriven_net; Zero_length_row ]
+    Undriven_net; Zero_length_row; Orphan_repair_buffer ]
 
 let name = function
   | Dangling_output -> "dangling-output"
@@ -30,6 +31,7 @@ let name = function
   | Combinational_cycle -> "combinational-cycle"
   | Undriven_net -> "undriven-net"
   | Zero_length_row -> "zero-length-row"
+  | Orphan_repair_buffer -> "orphan-repair-buffer"
 
 (* where the corruption is applied (after that stage's body, before its
    checks) and the error-class tag the guard must classify it under *)
@@ -39,6 +41,7 @@ let injection_stage = function
   | Broken_scan_order -> Guard.Reorder_atpg
   | Combinational_cycle -> Guard.Eco_cts_route
   | Corrupt_rc -> Guard.Extract
+  | Orphan_repair_buffer -> Guard.Repair
 
 let expected_class = function
   | Dangling_output -> "dangling-output"
@@ -51,6 +54,7 @@ let expected_class = function
   | Combinational_cycle -> "combinational-cycle"
   | Undriven_net -> "undriven-net"
   | Zero_length_row -> "zero-length-row"
+  | Orphan_repair_buffer -> "dangling-output"
 
 (* the stage whose guarded run must surface the error (the corruption may
    legitimately ride along until a later stage's tool chokes on it) *)
@@ -228,6 +232,26 @@ let make_zero_length_row (st : P.state) =
     Geom.Rect.of_size ~lx:r.Geom.Rect.lx ~ly:r.Geom.Rect.ly ~w:0.0
       ~h:(Geom.Rect.height r)
 
+(* splice a buffer onto a net but leave its output unwired and its load
+   list untouched: exactly the inconsistent netlist a buggy speculative
+   buffer-revert in the repair stage would leave behind *)
+let make_orphan_repair_buffer (st : P.state) =
+  let d = st.P.s_design in
+  let pl = Option.get st.P.s_placement in
+  let cand (i : Design.instance) =
+    is_plain_comb i
+    && Design.net_of_output d i >= 0
+    && Layout.Place.is_placed pl i.Design.id
+  in
+  match find_inst d cand with
+  | None -> no_candidate "net to hang a repair buffer on"
+  | Some g ->
+    let buf = Stdcell.Library.min_drive_strength d.Design.lib Cell.Buf in
+    let b = Design.add_instance d ~name:"repair_orphan_buf" ~cell:buf in
+    Design.connect d ~inst:b.Design.id ~pin:0 ~net:(Design.net_of_output d g);
+    Layout.Eco.add_cell pl ~inst:b.Design.id
+      ~near:(Layout.Place.position pl g.Design.id)
+
 let make_corrupt_rc (st : P.state) =
   match st.P.s_rc with
   | Some rc when Array.length rc > 0 ->
@@ -248,6 +272,7 @@ let corrupt m (st : P.state) =
   | Out_of_core_cell -> make_out_of_core st
   | Zero_length_row -> make_zero_length_row st
   | Corrupt_rc -> make_corrupt_rc st
+  | Orphan_repair_buffer -> make_orphan_repair_buffer st
 
 type outcome = {
   mutation : mutation;
@@ -266,9 +291,11 @@ let test_options =
 let run_one ?pool ?(ffs = 40) ?(gates = 500) m =
   let at = injection_stage m in
   let tamper ~attempt:_ stage st = if stage = at then corrupt m st in
+  (* a repair-stage fault should hit a repair stage that actually ran *)
+  let repair = at = Guard.Repair in
   let report =
     Guard.run ~policy:Guard.Degrade
-      ~options:{ test_options with P.pool }
+      ~options:{ test_options with P.pool; repair }
       ~tamper
       ~circuit:("inject:" ^ name m)
       (fun () -> Circuits.Bench.tiny ~ffs ~gates ())

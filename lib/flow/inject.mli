@@ -20,6 +20,9 @@ type mutation =
   | Combinational_cycle    (** combinational loop wired into the netlist *)
   | Undriven_net           (** loaded net loses its driver *)
   | Zero_length_row        (** floorplan row collapsed to zero width *)
+  | Orphan_repair_buffer   (** repair-style buffer spliced in but never
+                               wired up nor reverted — the wreckage a
+                               buggy speculative revert would leave *)
 
 val all : mutation list
 (** The full injection matrix (10 classes). *)

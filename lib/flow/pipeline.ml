@@ -15,6 +15,8 @@ type options = {
   cancel : Cancel.t option;
   lint : bool;
   sta_mode : sta_mode;
+  repair : bool;
+  repair_config : Repair.config;
 }
 
 let default_options =
@@ -29,7 +31,9 @@ let default_options =
     cache = None;
     cancel = None;
     lint = false;
-    sta_mode = Full_sta }
+    sta_mode = Full_sta;
+    repair = false;
+    repair_config = Repair.default_config }
 
 type result = {
   design : Netlist.Design.t;
@@ -47,6 +51,7 @@ type result = {
   route : Layout.Route.t;
   rc : Layout.Extract.net_rc array;
   sta : Sta.Analysis.t;
+  repair : Repair.report option;
   tgraph : Sta.Tgraph.t option;
   lint_report : Lint.Engine.report option;
   stats : Netlist.Stats.t;
@@ -75,6 +80,7 @@ type state = {
   mutable s_route : Layout.Route.t option;
   mutable s_rc : Layout.Extract.net_rc array option;
   mutable s_sta : Sta.Analysis.t option;
+  mutable s_repair : Repair.report option;
   (* live compiled graph (Incremental_sta only); deliberately outside the
      stage-cache snapshot — it is a derived accelerator, cheap to recompile
      and not Marshal-friendly to share across processes *)
@@ -99,6 +105,7 @@ let init ?(options = default_options) (d : Design.t) =
     s_route = None;
     s_rc = None;
     s_sta = None;
+    s_repair = None;
     s_tgraph = None;
     s_lint = None }
 
@@ -217,12 +224,37 @@ let stage_sta st =
           crit_nets = Some (Sta.Tgraph.critical_nets tg ~margin_ps) }
       in
       let rules =
-        match Lint.Engine.find_pack Lint.Tpitiming.pack_name with
-        | Some rs -> rs
-        | None -> []
+        List.concat_map
+          (fun pack ->
+            Option.value ~default:[] (Lint.Engine.find_pack pack))
+          [ Lint.Tpitiming.pack_name; Lint.Tpirepair.pack_name ]
       in
       st.s_lint <- Some (Lint.Engine.run ~arts ~rules st.s_design)
     end
+
+(* --- step 7: post-route timing repair (off by default) --- *)
+let stage_repair st =
+  if st.s_options.repair then
+    stage_span st "repair" @@ fun () ->
+    let placement = need "placement" st.s_placement in
+    let route = need "route" st.s_route in
+    let rc = need "rc" st.s_rc in
+    let mode =
+      match st.s_options.sta_mode with
+      | Full_sta -> Repair.Full_sta
+      | Incremental_sta -> Repair.Incremental_sta
+    in
+    let r =
+      Repair.run ~config:st.s_options.repair_config ~mode ~route ~rc placement
+    in
+    st.s_repair <- Some r;
+    (* downstream slots move to the repaired state; the stage-6 graph no
+       longer mirrors the edited design, so it is dropped rather than
+       handed out stale *)
+    st.s_route <- Some r.Repair.route;
+    st.s_rc <- Some r.Repair.rc;
+    st.s_sta <- Some r.Repair.sta;
+    st.s_tgraph <- None
 
 let finish st =
   { design = st.s_design;
@@ -240,6 +272,7 @@ let finish st =
     route = need "route" st.s_route;
     rc = need "rc" st.s_rc;
     sta = need "sta" st.s_sta;
+    repair = st.s_repair;
     tgraph = st.s_tgraph;
     lint_report = st.s_lint;
     stats = Netlist.Stats.compute st.s_design;
@@ -275,6 +308,7 @@ type snapshot = {
   c_route : Layout.Route.t option;
   c_rc : Layout.Extract.net_rc array option;
   c_sta : Sta.Analysis.t option;
+  c_repair : Repair.report option;
 }
 
 let snapshot st =
@@ -292,7 +326,8 @@ let snapshot st =
     c_filler = st.s_filler;
     c_route = st.s_route;
     c_rc = st.s_rc;
-    c_sta = st.s_sta }
+    c_sta = st.s_sta;
+    c_repair = st.s_repair }
 
 let restore st c =
   st.s_design <- c.c_design;
@@ -309,11 +344,14 @@ let restore st c =
   st.s_filler <- c.c_filler;
   st.s_route <- c.c_route;
   st.s_rc <- c.c_rc;
-  st.s_sta <- c.c_sta
+  st.s_sta <- c.c_sta;
+  st.s_repair <- c.c_repair;
+  (* any live graph mirrors the pre-hit design, not the restored one *)
+  st.s_tgraph <- None
 
 (* bump whenever the snapshot layout or any stage semantics change: old
    on-disk entries then simply never match a key again *)
-let cache_version = "tpi-stage-cache-v1"
+let cache_version = "tpi-stage-cache-v2"
 
 (* every option a stage outcome can depend on; the pool (execution layout
    only, §6.1), the cache itself, the cancellation token (which only
@@ -326,7 +364,7 @@ let options_fingerprint o =
     (Digest.string
        (Marshal.to_string
           ( o.tp_percent, o.chain_config, o.utilization, o.run_atpg, o.atpg_config,
-            o.tpi_config, o.seed )
+            o.tpi_config, o.seed, o.repair, o.repair_config )
           []))
 
 type cache_ctx = {
@@ -376,7 +414,7 @@ let cached_stage ctx name body (st : state) =
     else Obs.Metrics.incr m_misses
 
 let stage_names_in_order =
-  [ "tpi-scan"; "place"; "reorder-atpg"; "eco-cts-route"; "extract"; "sta" ]
+  [ "tpi-scan"; "place"; "reorder-atpg"; "eco-cts-route"; "extract"; "sta"; "repair" ]
 
 (* read-only gate ahead of the first stage: a design that would mis-build
    (combinational loops, multi-driven nets, mis-clocked test points, ...)
@@ -392,5 +430,5 @@ let run ?(options = default_options) (d : Design.t) =
     (fun name stage -> cached_stage ctx name stage st)
     stage_names_in_order
     [ stage_tpi_scan; stage_place; stage_reorder_atpg; stage_eco_route; stage_extract;
-      stage_sta ];
+      stage_sta; stage_repair ];
   finish st

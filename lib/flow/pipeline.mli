@@ -8,7 +8,9 @@
     {- ECO of the reordering's buffers, clock-tree insertion, filler
        insertion and routing;}
     {- RC extraction;}
-    {- static timing analysis.}}
+    {- static timing analysis;}
+    {- (optionally) post-route timing repair ({!Repair}), off by default
+       — the paper's layouts are deliberately unoptimised (§5).}}
 
     One call = one layout, generated from scratch, as in the paper. *)
 
@@ -53,8 +55,14 @@ type options = {
           and cancel token — excluded from stage-cache keys *)
   sta_mode : sta_mode;
       (** how step 6 computes the (identical) timing report; excluded from
-          stage-cache keys for the same reason as the pool. Default
-          {!Full_sta} *)
+          stage-cache keys for the same reason as the pool. Also selects
+          {!Repair}'s evaluation mode, which likewise never changes the
+          repaired result. Default {!Full_sta} *)
+  repair : bool;
+      (** run the step-7 {!Repair} stage: WNS/TNS-driven ECO repair of the
+          routed design, updating [route]/[rc]/[sta] to the repaired
+          state. Part of the stage-cache key. Default [false] *)
+  repair_config : Repair.config;  (** budgets/margins for the repair stage *)
 }
 
 val default_options : options
@@ -75,10 +83,14 @@ type result = {
   route : Layout.Route.t;
   rc : Layout.Extract.net_rc array;
   sta : Sta.Analysis.t;
+      (** post-repair when the repair stage ran; its pre-repair STA is
+          then in [repair.pre_sta] *)
+  repair : Repair.report option;  (** [Some] iff [options.repair] *)
   tgraph : Sta.Tgraph.t option;
       (** the live compiled timing graph when the sta stage actually ran
-          under {!Incremental_sta} ([None] in {!Full_sta} mode or when the
-          stage was restored from the cache) *)
+          under {!Incremental_sta} ([None] in {!Full_sta} mode, when the
+          stage was restored from the cache, or after a repair stage —
+          whose edits the stage-6 graph does not mirror) *)
   lint_report : Lint.Engine.report option;
       (** post-layout run of the TPI/timing lint pack, fed the real slack
           report and near-critical net set straight off the compiled
@@ -124,6 +136,7 @@ type state = {
   mutable s_route : Layout.Route.t option;
   mutable s_rc : Layout.Extract.net_rc array option;
   mutable s_sta : Sta.Analysis.t option;
+  mutable s_repair : Repair.report option;
   mutable s_tgraph : Sta.Tgraph.t option;
       (** {!Incremental_sta} only; outside the cache snapshot *)
   mutable s_lint : Lint.Engine.report option;
@@ -138,6 +151,11 @@ val stage_reorder_atpg : state -> unit
 val stage_eco_route : state -> unit
 val stage_extract : state -> unit
 val stage_sta : state -> unit
+
+val stage_repair : state -> unit
+(** No-op unless [options.repair]; otherwise runs {!Repair.run} on the
+    routed design and moves the route/rc/sta slots to the repaired
+    state. *)
 
 val finish : state -> result
 (** Collects a complete [result]; raises [Invalid_argument] if any stage

@@ -1,0 +1,83 @@
+(** Post-route timing-repair ECO stage (DESIGN.md §6.7).
+
+    Walks the near-critical net set of the compiled timing graph and
+    trials parasitic-aware ECOs through {!Retime} — buffer insertion on
+    loaded critical nets, driver upsizing, commutative-pin swapping, and
+    off-critical downsizing for area recovery. Every ECO is speculative:
+    re-timed individually, accepted only if the (WNS, TNS) objective
+    improves lexicographically (area moves: only if it does not degrade),
+    and reverted {e exactly} otherwise, so a rejected trial leaves no
+    trace in timing, routing or area.
+
+    The engine runs identically under full or incremental STA: both
+    evaluation modes leave the graph byte-identical after every edit
+    (§6.6), so every accept/revert decision — and hence the final report
+    — matches bit for bit; only the [sta.*] counters that move differ.
+    This is pinned by the repair test suite and the CI byte-diff. *)
+
+type mode = Timingfix.mode = Full_sta | Incremental_sta
+
+type config = {
+  margin_ps : float;
+  (** criticality window: nets whose slack is within this of the worst *)
+  max_edits : int;
+  (** trial budget, applied once to the timing passes together and once
+      more to the area-recovery pass *)
+  max_passes : int;      (** sweeps over the (recomputed) critical set *)
+  area_recovery : bool;  (** run the off-critical downsize pass *)
+  slack_guard_ps : float;
+  (** headroom every net of a downsize candidate must keep *)
+  buffer_min_sinks : int;
+  (** only nets with at least this many sinks get a trial buffer *)
+}
+
+val default_config : config
+
+type eco_kind = Insert_buffer | Upsize | Downsize | Swap_pins
+
+type eco = {
+  kind : eco_kind;
+  target : string;       (** net or instance name *)
+  accepted : bool;
+  wns_gain_ps : float;   (** objective movement of this trial *)
+}
+
+type report = {
+  passes : int;
+  tried : int;
+  accepted : int;
+  buffers_inserted : int;
+  upsized : int;
+  downsized : int;
+  swapped : int;
+  wns_before : float;
+  tns_before : float;
+  wns_after : float;    (** never worse than [wns_before] *)
+  tns_after : float;
+  t_cp_before : float;
+  t_cp_after : float;
+  cell_area_before : float;
+  cell_area_after : float;
+  pre_sta : Sta.Analysis.t;
+  (** analysis before any repair — byte-identical to the unrepaired
+      flow's STA, which is what lets one repaired sweep report both the
+      repaired and unrepaired Table 3 columns *)
+  sta : Sta.Analysis.t;             (** analysis of the repaired state *)
+  route : Layout.Route.t;
+  rc : Layout.Extract.net_rc array;
+  edits : eco list;                 (** every trial, in application order *)
+}
+
+val kind_name : eco_kind -> string
+
+val run :
+  ?config:config ->
+  ?mode:mode ->
+  ?route:Layout.Route.t ->
+  ?rc:Layout.Extract.net_rc array ->
+  Layout.Place.t ->
+  report
+(** Repair the placed design in place. [route]/[rc] reuse an existing
+    routing/extraction of exactly this placement (the pipeline passes its
+    stage products); both are recomputed when absent. Defaults:
+    {!default_config}, [Incremental_sta]. *)

@@ -145,6 +145,57 @@ let table3 (rows : Experiment.row list) =
          "T_intr"; "T_load"; "T_setup"; "T_skew" ]
        (List.rev !data))
 
+(* repaired sweep: one pass yields both columns, because [repair.pre_sta]
+   is byte-identical to what the unrepaired flow would have reported *)
+let table3_repaired (rows : Experiment.row list) =
+  let base_tcp = ref 0.0 in
+  let worst_tcp (sta : Sta.Analysis.t) =
+    match sta.Sta.Analysis.worst with
+    | Some p -> p.Sta.Analysis.t_cp
+    | None -> 0.0
+  in
+  let worst_fmax (sta : Sta.Analysis.t) =
+    match sta.Sta.Analysis.worst with
+    | Some p -> p.Sta.Analysis.fmax_mhz
+    | None -> 0.0
+  in
+  let data =
+    List.filter_map
+      (fun (r : Experiment.row) ->
+        let res = r.Experiment.result in
+        match res.Pipeline.repair with
+        | None -> None
+        | Some rep ->
+          let un_tcp = worst_tcp rep.Repair.pre_sta in
+          let rp_tcp = worst_tcp res.Pipeline.sta in
+          if r.Experiment.tp_pct = 0 then base_tcp := un_tcp;
+          Some
+            [ d res.Pipeline.tp_count;
+              f0 un_tcp;
+              f2 (pct_change ~base:!base_tcp un_tcp);
+              f0 rp_tcp;
+              f2 (pct_change ~base:!base_tcp rp_tcp);
+              f1 (worst_fmax rep.Repair.pre_sta);
+              f1 (worst_fmax res.Pipeline.sta);
+              f0 rep.Repair.cell_area_before;
+              f0 rep.Repair.cell_area_after;
+              d rep.Repair.accepted;
+              d rep.Repair.buffers_inserted;
+              d rep.Repair.upsized;
+              d rep.Repair.downsized;
+              d rep.Repair.swapped ])
+      rows
+  in
+  if data = [] then ""
+  else
+    Printf.sprintf "Table 3R -- timing after post-route repair (%s)\n%s"
+      (circuit_name rows)
+      (buf_table
+         [ "#TP"; "T_cp ps"; "inc%"; "rT_cp ps"; "rinc%"; "F_max MHz";
+           "rF_max MHz"; "cells um2"; "rcells um2"; "acc"; "buf"; "up"; "down";
+           "swap" ]
+         data)
+
 let degraded_lines (grows : Experiment.guarded_row list) =
   List.map
     (fun (g : Experiment.guarded_row) ->

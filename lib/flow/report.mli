@@ -12,6 +12,14 @@ val table3 : Experiment.row list -> string
 (** Impact on timing, one line per clock domain: #TP_cp, T_cp (+%), F_max
     and the equation-(3) decomposition. *)
 
+val table3_repaired : Experiment.row list -> string
+(** Repaired vs unrepaired timing at each level of a [~repair:true] sweep:
+    unrepaired T_cp/increase% (off each level's {!Repair.report.pre_sta},
+    byte-identical to the unrepaired flow's STA), repaired T_cp/increase%
+    (both against the unrepaired 0% base), F_max before/after, cell area
+    before/after and the accepted-ECO counts. Empty string when no row
+    carries a repair report. *)
+
 val summary : Experiment.row list -> string
 (** One-paragraph recap in the style of the paper's abstract claims. *)
 

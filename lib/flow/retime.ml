@@ -22,6 +22,10 @@ let m_edits = Obs.Metrics.counter "sta.incremental.eco_edits"
 type t = {
   pl : Place.t;
   tg : Sta.Tgraph.t;
+  (* full-STA evaluation: every edit ends in a whole-graph re-propagation
+     instead of a cone retime. Byte-identical end state (§6.6); this is the
+     reference mode Flow.Repair's incremental mode is diffed against. *)
+  full : bool;
   mutable routes : Route.net_route option array;
   mutable rc : Extract.net_rc array;
   mutable next_tp : int;
@@ -54,7 +58,8 @@ let find_leaf_clocks (d : Design.t) =
       end);
   !leaves
 
-let create ?config (pl : Place.t) (rt : Route.t) (rc : Extract.net_rc array) =
+let create ?config ?(full_sta = false) (pl : Place.t) (rt : Route.t)
+    (rc : Extract.net_rc array) =
   let d = pl.Place.design in
   let tg = Sta.Tgraph.compile ?config d rc in
   Sta.Tgraph.propagate tg;
@@ -63,6 +68,7 @@ let create ?config (pl : Place.t) (rt : Route.t) (rc : Extract.net_rc array) =
       if i.Design.cell.Cell.kind = Cell.Tsff then incr next_tp);
   { pl;
     tg;
+    full = full_sta;
     routes = Array.copy rt.Route.routes;
     rc = Array.copy rc;
     next_tp = !next_tp;
@@ -118,6 +124,18 @@ let anchor t nid =
     in
     first n.Design.sinks
 
+(* cone retime in the default mode; whole-graph re-propagation in
+   full-STA mode — both leave the arrival/slew/provenance arrays in the
+   exact state a from-scratch propagate would, so the choice never shows
+   in any report, only in which sta counters move *)
+let reeval t ~dirty_nets ~dirty_insts =
+  if t.full then begin
+    Sta.Tgraph.propagate t.tg;
+    { Sta.Incremental.insts_evaluated = 0; nets_changed = 0; nets_settled = 0;
+      required_patched = 0 }
+  end
+  else Sta.Incremental.retime t.tg ~dirty_nets ~dirty_insts
+
 (* absorb one completed design edit: legalize any new cells, mirror the
    topology into the graph, re-route/re-extract the touched nets, retime
    the cone. [old_ni]/[old_nn]/[old_np] are the design sizes before the
@@ -170,7 +188,7 @@ let refresh t ~old_ni ~old_nn ~old_np ~near ~nets ~insts =
       t.rc.(nid) <- Extract.extract_net t.pl t.routes.(nid) n;
       Sta.Tgraph.update_rc t.tg nid t.rc.(nid))
     !dirty;
-  let stats = Sta.Incremental.retime t.tg ~dirty_nets:!dirty ~dirty_insts:insts in
+  let stats = reeval t ~dirty_nets:!dirty ~dirty_insts:insts in
   t.last_stats <- Some stats;
   t.edits <- t.edits + 1;
   Obs.Metrics.incr m_edits;
@@ -213,27 +231,94 @@ let insert_buffer t ~net =
   let stats = refresh t ~old_ni ~old_nn ~old_np ~near ~nets:[ net ] ~insts:[] in
   (b, stats)
 
-let upsize t ~inst =
+let resize t ~inst ~cell =
   let d = design t in
   let old_ni = Design.num_insts d and old_nn = Design.num_nets d in
   let old_np = Util.Vec.length d.Design.ports in
   let i = Design.inst d inst in
-  match Stdcell.Library.upsize d.Design.lib i.Design.cell with
+  if Array.length (cell : Cell.t).Cell.pins <> Array.length i.Design.cell.Cell.pins then
+    invalid_arg "Retime.resize: pin interface differs";
+  let old_width = i.Design.cell.Cell.width in
+  let pins = List.init (Array.length i.Design.cell.Cell.pins) (fun k -> (k, k)) in
+  Design.replace_cell d ~inst ~cell ~pin_map:pins;
+  if Place.is_placed t.pl inst then begin
+    let r = t.pl.Place.row.(inst) in
+    t.pl.Place.row_used.(r) <- t.pl.Place.row_used.(r) +. cell.Cell.width -. old_width
+  end;
+  let near =
+    if Place.is_placed t.pl inst then Place.position t.pl inst
+    else anchor t (List.hd (touched_nets i ~old_nn))
+  in
+  refresh t ~old_ni ~old_nn ~old_np ~near ~nets:(touched_nets i ~old_nn) ~insts:[ inst ]
+
+let upsize t ~inst =
+  let d = design t in
+  match Stdcell.Library.upsize d.Design.lib (Design.inst d inst).Design.cell with
   | None -> None
-  | Some bigger ->
-    let old_width = i.Design.cell.Cell.width in
-    let pins = List.init (Array.length i.Design.cell.Cell.pins) (fun k -> (k, k)) in
-    Design.replace_cell d ~inst ~cell:bigger ~pin_map:pins;
-    if Place.is_placed t.pl inst then begin
-      let r = t.pl.Place.row.(inst) in
-      t.pl.Place.row_used.(r) <- t.pl.Place.row_used.(r) +. bigger.Cell.width -. old_width
-    end;
-    let near =
-      if Place.is_placed t.pl inst then Place.position t.pl inst
-      else anchor t (List.hd (touched_nets i ~old_nn))
-    in
-    let stats =
-      refresh t ~old_ni ~old_nn ~old_np ~near ~nets:(touched_nets i ~old_nn)
-        ~insts:[ inst ]
-    in
-    Some stats
+  | Some bigger -> Some (resize t ~inst ~cell:bigger)
+
+let downsize t ~inst =
+  let d = design t in
+  match Stdcell.Library.downsize d.Design.lib (Design.inst d inst).Design.cell with
+  | None -> None
+  | Some smaller -> Some (resize t ~inst ~cell:smaller)
+
+let swap_pins t ~inst ~pin_a ~pin_b =
+  let d = design t in
+  let old_ni = Design.num_insts d and old_nn = Design.num_nets d in
+  let old_np = Util.Vec.length d.Design.ports in
+  let i = Design.inst d inst in
+  let input p =
+    p >= 0
+    && p < Array.length i.Design.cell.Cell.pins
+    && i.Design.cell.Cell.pins.(p).Stdcell.Pin.dir = Stdcell.Pin.Input
+  in
+  if not (input pin_a && input pin_b) then invalid_arg "Retime.swap_pins: not input pins";
+  let na = i.Design.conns.(pin_a) and nb = i.Design.conns.(pin_b) in
+  if na < 0 || nb < 0 then invalid_arg "Retime.swap_pins: disconnected pin";
+  Design.disconnect d ~inst ~pin:pin_a;
+  Design.disconnect d ~inst ~pin:pin_b;
+  Design.connect d ~inst ~pin:pin_a ~net:nb;
+  Design.connect d ~inst ~pin:pin_b ~net:na;
+  let nets = List.sort_uniq compare [ na; nb ] in
+  refresh t ~old_ni ~old_nn ~old_np ~near:(anchor t na) ~nets ~insts:[ inst ]
+
+(* exact structural undo of the *most recent* [insert_buffer]: the buffer
+   must still be the newest instance and its output net the newest net.
+   Restores the design bit for bit (the split moved the whole sink list, so
+   unsplitting preserves its order), unplaces the buffer, retires its
+   graph/route/rc mirror slots and re-times the restored net's cone back
+   onto the pre-edit fixpoint. *)
+let remove_buffer t ~inst =
+  let d = design t in
+  let old_ni = Design.num_insts d and old_nn = Design.num_nets d in
+  let b = Design.inst d inst in
+  if inst <> old_ni - 1 then invalid_arg "Retime.remove_buffer: not the newest instance";
+  if b.Design.cell.Cell.kind <> Cell.Buf then
+    invalid_arg "Retime.remove_buffer: not a buffer";
+  let net = b.Design.conns.(0) and nb = b.Design.conns.(1) in
+  if nb <> old_nn - 1 then invalid_arg "Retime.remove_buffer: not the newest net";
+  Design.disconnect d ~inst ~pin:1;
+  Design.disconnect d ~inst ~pin:0;
+  Design.unsplit_net d ~net ~fresh:nb;
+  Design.remove_last_instance d;
+  Design.remove_last_net d;
+  if Place.is_placed t.pl inst then begin
+    let r = t.pl.Place.row.(inst) in
+    t.pl.Place.row_used.(r) <-
+      t.pl.Place.row_used.(r) -. b.Design.cell.Cell.width;
+    t.pl.Place.x.(inst) <- Float.nan;
+    t.pl.Place.row.(inst) <- -1
+  end;
+  (* retire the dead net's mirrors: route stats iterate the raw array *)
+  if nb < Array.length t.routes then t.routes.(nb) <- None;
+  Sta.Tgraph.sync_topology t.tg ~nets:[ net ] ~insts:[];
+  let n = Design.net d net in
+  t.routes.(net) <- Route.route_net t.pl n;
+  t.rc.(net) <- Extract.extract_net t.pl t.routes.(net) n;
+  Sta.Tgraph.update_rc t.tg net t.rc.(net);
+  let stats = reeval t ~dirty_nets:[ net ] ~dirty_insts:[] in
+  t.last_stats <- Some stats;
+  t.edits <- t.edits + 1;
+  Obs.Metrics.incr m_edits;
+  stats

@@ -13,13 +13,20 @@ type t
 
 val create :
   ?config:Sta.Analysis.config ->
+  ?full_sta:bool ->
   Layout.Place.t ->
   Layout.Route.t ->
   Layout.Extract.net_rc array ->
   t
 (** Compile the timing graph and snapshot per-net routes/parasitics.
     The placement (and the design under it) are borrowed and mutated by
-    subsequent edits; the route and rc arrays are copied. *)
+    subsequent edits; the route and rc arrays are copied.
+
+    With [full_sta:true] every edit ends in a whole-graph re-propagation
+    instead of a worklist cone retime. The end state is byte-identical
+    either way (§6.6) — only the sta counters that move differ — which is
+    what lets {!Repair} run under either mode and produce the same
+    report. *)
 
 val insert_tp :
   t -> net:int -> Netlist.Design.instance * Sta.Incremental.stats
@@ -37,6 +44,32 @@ val upsize : t -> inst:int -> Sta.Incremental.stats option
 (** Swap [inst] for the next drive strength up ({!Stdcell.Library.upsize});
     [None] when it is already at maximum drive. Every incident net is
     re-routed (the cell centre, hence every pin position, moves). *)
+
+val downsize : t -> inst:int -> Sta.Incremental.stats option
+(** Swap [inst] for the next drive strength down — the area-recovery move
+    and the exact inverse of {!upsize}; [None] at minimum drive. *)
+
+val resize : t -> inst:int -> cell:Stdcell.Cell.t -> Sta.Incremental.stats
+(** Swap [inst] for [cell] (same pin interface, identity pin map). The
+    revert primitive behind speculative sizing: remember the old cell,
+    trial an {!upsize}/{!downsize}, and [resize] back if timing regressed.
+    Raises [Invalid_argument] if the pin counts differ. *)
+
+val swap_pins : t -> inst:int -> pin_a:int -> pin_b:int -> Sta.Incremental.stats
+(** Exchange the nets on two input pins of [inst] — the commutative-pin
+    ECO: with per-pin arc asymmetry ({!Stdcell.Library.default}, pin A
+    fastest), moving the latest-arriving signal onto the fastest pin
+    shortens the worst arc. Self-inverse, so a regressing swap is
+    reverted by swapping back. Raises [Invalid_argument] unless both
+    pins are connected inputs. *)
+
+val remove_buffer : t -> inst:int -> Sta.Incremental.stats
+(** Exact structural undo of the most recent {!insert_buffer}: [inst]
+    must still be the newest instance and its output net the newest net.
+    Unsplits the net (sink order preserved), removes the buffer cell and
+    net, unplaces it, and re-times the restored cone — leaving the
+    context byte-identical to one in which the buffer was never
+    inserted. Raises [Invalid_argument] if anything was appended since. *)
 
 val analysis : t -> Sta.Analysis.t
 (** Full report from the current graph state — endpoint slacks, eq. 3

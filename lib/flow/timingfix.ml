@@ -25,8 +25,16 @@ let analyse pl =
 
 let worst_tcp (sta : Sta.Analysis.t) =
   match sta.Sta.Analysis.worst with
-  | Some p -> p.Sta.Analysis.t_cp
-  | None -> 0.0
+  | Some p -> Some p.Sta.Analysis.t_cp
+  | None -> None
+
+(* report sentinel: a design with no constrained path has no critical-path
+   delay, which the report records as 0.0 (documented in the .mli; the
+   optimisation loop itself never compares against the sentinel) *)
+let tcp_or_zero sta = Option.value ~default:0.0 (worst_tcp sta)
+
+let improved ~before ~after =
+  match (before, after) with Some b, Some a -> a < b | _ -> false
 
 (* the upsize schedule a report implies: every step of every reported
    critical path, in path order — a cell on several paths is taken once
@@ -46,47 +54,63 @@ let path_insts (sta : Sta.Analysis.t) =
     sta.Sta.Analysis.per_domain;
   List.rev !acc
 
-(* upsize every upsizable cell on the reported critical paths *)
+let swap_cell (pl : Layout.Place.t) ~inst ~(cell : Cell.t) =
+  let d = pl.Layout.Place.design in
+  let i = Design.inst d inst in
+  let old_width = i.Design.cell.Cell.width in
+  let pins = List.init (Array.length i.Design.cell.Cell.pins) (fun k -> (k, k)) in
+  Design.replace_cell d ~inst ~cell ~pin_map:pins;
+  if Layout.Place.is_placed pl inst then begin
+    let r = pl.Layout.Place.row.(inst) in
+    pl.Layout.Place.row_used.(r) <-
+      pl.Layout.Place.row_used.(r) +. cell.Cell.width -. old_width
+  end
+
+(* upsize every upsizable cell on the reported critical paths; returns the
+   count and the undo log (newest first) so a round that regresses timing
+   can be rolled back cell-for-cell *)
 let upsize_paths (pl : Layout.Place.t) (sta : Sta.Analysis.t) =
   let d = pl.Layout.Place.design in
-  let count = ref 0 in
-  List.iter
-    (fun iid ->
+  List.fold_left
+    (fun (count, undo) iid ->
       let i = Design.inst d iid in
       match Stdcell.Library.upsize d.Design.lib i.Design.cell with
-      | None -> ()
+      | None -> (count, undo)
       | Some bigger ->
-        let old_width = i.Design.cell.Cell.width in
-        let pins = List.init (Array.length i.Design.cell.Cell.pins) (fun k -> (k, k)) in
-        Design.replace_cell d ~inst:i.Design.id ~cell:bigger ~pin_map:pins;
-        if Layout.Place.is_placed pl i.Design.id then begin
-          let r = pl.Layout.Place.row.(i.Design.id) in
-          pl.Layout.Place.row_used.(r) <-
-            pl.Layout.Place.row_used.(r) +. bigger.Cell.width -. old_width
-        end;
-        incr count)
-    (path_insts sta);
-  !count
+        let old_cell = i.Design.cell in
+        swap_cell pl ~inst:iid ~cell:bigger;
+        (count + 1, (iid, old_cell) :: undo))
+    (0, []) (path_insts sta)
+
+(* roll a round back: the log is newest-first, so replaying it restores a
+   multiply-upsized cell through each intermediate drive to the original *)
+let revert_upsizes (pl : Layout.Place.t) undo =
+  List.iter (fun (iid, cell) -> swap_cell pl ~inst:iid ~cell) undo
 
 let run_full ~max_rounds (pl : Layout.Place.t) =
   let d = pl.Layout.Place.design in
   let cell_area_before = cell_area d in
   let route0, rc0, sta0 = analyse pl in
-  let t_cp_before = worst_tcp sta0 in
+  let t_cp_before = tcp_or_zero sta0 in
   let best = ref (route0, rc0, sta0) in
   let upsized = ref 0 and rounds = ref 0 in
   let continue_ = ref true in
   while !continue_ && !rounds < max_rounds do
     incr rounds;
     let _, _, sta = !best in
-    let n = upsize_paths pl sta in
-    upsized := !upsized + n;
+    let n, undo = upsize_paths pl sta in
     if n = 0 then continue_ := false
     else begin
       let route', rc', sta' = analyse pl in
-      if worst_tcp sta' < worst_tcp sta then best := (route', rc', sta')
+      if improved ~before:(worst_tcp sta) ~after:(worst_tcp sta') then begin
+        upsized := !upsized + n;
+        best := (route', rc', sta')
+      end
       else begin
-        best := (route', rc', sta');
+        (* the round regressed (or flat-lined): undo its upsizes so the
+           reported layout and t_cp_after are the best state seen, not the
+           last one tried *)
+        revert_upsizes pl undo;
         continue_ := false
       end
     end
@@ -95,7 +119,7 @@ let run_full ~max_rounds (pl : Layout.Place.t) =
   { rounds = !rounds;
     upsized_cells = !upsized;
     t_cp_before;
-    t_cp_after = worst_tcp sta;
+    t_cp_after = tcp_or_zero sta;
     cell_area_before;
     cell_area_after = cell_area d;
     sta;
@@ -115,26 +139,35 @@ let run_incremental ~max_rounds (pl : Layout.Place.t) =
   let rc0 = Layout.Extract.run pl route0 in
   let ctx = Retime.create pl route0 rc0 in
   let sta0 = Retime.analysis ctx in
-  let t_cp_before = worst_tcp sta0 in
+  let t_cp_before = tcp_or_zero sta0 in
   let best_sta = ref sta0 in
   let upsized = ref 0 and rounds = ref 0 in
   let continue_ = ref true in
   while !continue_ && !rounds < max_rounds do
     incr rounds;
     let sta = !best_sta in
-    let n =
+    let n, undo =
       List.fold_left
-        (fun acc iid ->
-          match Retime.upsize ctx ~inst:iid with Some _ -> acc + 1 | None -> acc)
-        0 (path_insts sta)
+        (fun (acc, undo) iid ->
+          let old_cell = (Design.inst d iid).Design.cell in
+          match Retime.upsize ctx ~inst:iid with
+          | Some _ -> (acc + 1, (iid, old_cell) :: undo)
+          | None -> (acc, undo))
+        (0, []) (path_insts sta)
     in
-    upsized := !upsized + n;
     if n = 0 then continue_ := false
     else begin
       let sta' = Retime.analysis ctx in
-      if worst_tcp sta' < worst_tcp sta then best_sta := sta'
+      if improved ~before:(worst_tcp sta) ~after:(worst_tcp sta') then begin
+        upsized := !upsized + n;
+        best_sta := sta'
+      end
       else begin
-        best_sta := sta';
+        (* roll the round back through the ECO context (newest first, so a
+           multiply-upsized cell steps down through each drive); Retime's
+           exactness makes the post-revert state byte-identical to the end
+           of the best round, matching run_full's revert *)
+        List.iter (fun (iid, cell) -> ignore (Retime.resize ctx ~inst:iid ~cell)) undo;
         continue_ := false
       end
     end
@@ -142,7 +175,7 @@ let run_incremental ~max_rounds (pl : Layout.Place.t) =
   { rounds = !rounds;
     upsized_cells = !upsized;
     t_cp_before;
-    t_cp_after = worst_tcp !best_sta;
+    t_cp_after = tcp_or_zero !best_sta;
     cell_area_before;
     cell_area_after = cell_area d;
     sta = !best_sta;

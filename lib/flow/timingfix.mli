@@ -14,19 +14,31 @@ type mode =
                          instead of one full STA per round *)
 
 type report = {
-  rounds : int;
+  rounds : int;       (** rounds attempted, including a final reverted one *)
   upsized_cells : int;
+  (** upsizes that {e survived} — a round that regressed timing is rolled
+      back cell-for-cell and contributes nothing *)
   t_cp_before : float;
   t_cp_after : float;
+  (** the best critical-path delay seen across all rounds, never worse
+      than any intermediate round's; [0.0] when the design has no
+      constrained path (see {!worst_tcp}) *)
   cell_area_before : float;
   cell_area_after : float;
-  sta : Sta.Analysis.t;             (** analysis after the final round *)
+  sta : Sta.Analysis.t;             (** analysis of the best round's state *)
   route : Layout.Route.t;
   rc : Layout.Extract.net_rc array;
 }
 
+val worst_tcp : Sta.Analysis.t -> float option
+(** Worst-domain critical-path delay; [None] when the design has no
+    constrained timing path (no sequential cells and no timed outputs) —
+    the case the report encodes as the [0.0] sentinel. *)
+
 val run : ?max_rounds:int -> ?mode:mode -> Layout.Place.t -> report
 (** Default 3 rounds, [Incremental_sta]; stops early when the critical
-    path stops improving or nothing on it can be upsized further. The two
-    modes produce byte-identical reports (pinned by the incremental test
+    path stops improving or nothing on it can be upsized further. A round
+    that fails to improve T_cp is reverted in place — the placement and
+    netlist end at the best state seen, not the last tried. The two modes
+    produce byte-identical reports (pinned by the incremental test
     suite); only the work done per round differs. *)

@@ -14,7 +14,8 @@ type report = {
 let packs =
   [ (Structural.pack_name, Structural.rules);
     (Clockscan.pack_name, Clockscan.rules);
-    (Tpitiming.pack_name, Tpitiming.rules) ]
+    (Tpitiming.pack_name, Tpitiming.rules);
+    (Tpirepair.pack_name, Tpirepair.rules) ]
 
 let all_rules = List.concat_map snd packs
 let find_pack name = List.assoc_opt name packs

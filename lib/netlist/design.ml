@@ -236,6 +236,34 @@ let fingerprint t =
     t.domains;
   Printf.sprintf "%016x" (!h land max_int)
 
+(* Speculative-edit undo. Instances are never deleted by optimization
+   passes — the one sanctioned exception is rolling back the most recent
+   edit of a trial-and-revert loop (Flow.Repair): the trial cell/net is by
+   construction the newest one, must be fully disconnected, and removing it
+   restores the exact pre-edit structure (ids, orders, fingerprint). *)
+
+let remove_last_instance t =
+  let n = Vec.length t.insts in
+  if n = 0 then invalid_arg "Design.remove_last_instance: no instances";
+  let i = Vec.get t.insts (n - 1) in
+  Array.iteri
+    (fun pin nid ->
+      if nid >= 0 then
+        invalid_arg
+          (Printf.sprintf "Design.remove_last_instance: pin %d of %s still connected" pin
+             i.iname))
+    i.conns;
+  Vec.truncate t.insts (n - 1)
+
+let remove_last_net t =
+  let n = Vec.length t.nets in
+  if n = 0 then invalid_arg "Design.remove_last_net: no nets";
+  let nt = Vec.get t.nets (n - 1) in
+  if nt.driver <> No_driver || nt.sinks <> [] || nt.out_port >= 0 then
+    invalid_arg
+      (Printf.sprintf "Design.remove_last_net: net %s still referenced" nt.nname);
+  Vec.truncate t.nets (n - 1)
+
 let split_net t ~net:nid ~name =
   let old = net t nid in
   let fresh = add_net t name in
@@ -251,3 +279,23 @@ let split_net t ~net:nid ~name =
     old.out_port <- -1
   end;
   fresh
+
+(* exact inverse of [split_net]: moves the whole sink list back in order
+   (split moved it wholesale, so the original order is preserved bit for
+   bit) and restores the output-port binding. [old] must have no sinks of
+   its own — any cell wired to it since the split must be detached first. *)
+let unsplit_net t ~net:nid ~fresh:fid =
+  let old = net t nid and fresh = net t fid in
+  if old.sinks <> [] then invalid_arg "Design.unsplit_net: split net re-acquired sinks";
+  (match fresh.driver with
+   | No_driver -> ()
+   | _ -> invalid_arg "Design.unsplit_net: fresh net still driven");
+  old.sinks <- fresh.sinks;
+  fresh.sinks <- [];
+  List.iter (fun (iid, pin) -> (inst t iid).conns.(pin) <- old.nid) old.sinks;
+  if fresh.out_port >= 0 then begin
+    let p = port t fresh.out_port in
+    p.pnet <- old.nid;
+    old.out_port <- fresh.out_port;
+    fresh.out_port <- -1
+  end

@@ -116,3 +116,26 @@ val split_net : t -> net:int -> name:string -> net
     (and output-port binding) of [net], leaving [net] with its driver only.
     This is the primitive under test point insertion: the inserted cell then
     reads [net] and drives the new net. *)
+
+(** {1 Speculative-edit undo}
+
+    Instances are never deleted by optimization passes; the one sanctioned
+    exception is rolling back the {e most recent} edit of a trial-and-revert
+    loop ({!Flow.Repair}): the trial cell/net is by construction the newest
+    element and must be fully disconnected before removal. Undoing in the
+    reverse order of the edit restores the exact pre-edit structure — same
+    ids, same sink-list orders, same {!fingerprint}. *)
+
+val unsplit_net : t -> net:int -> fresh:int -> unit
+(** Exact inverse of {!split_net}: moves [fresh]'s whole sink list (and any
+    output-port binding) back to [net], preserving order. [net] must have no
+    sinks of its own and [fresh] no driver — detach any trial cell first.
+    Raises [Invalid_argument] otherwise. *)
+
+val remove_last_instance : t -> unit
+(** Drops the newest instance; it must be fully disconnected.
+    Raises [Invalid_argument] otherwise. *)
+
+val remove_last_net : t -> unit
+(** Drops the newest net; it must be driverless, sinkless and unbound.
+    Raises [Invalid_argument] otherwise. *)

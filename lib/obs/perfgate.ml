@@ -79,6 +79,7 @@ let gated_metrics doc =
   in
   speedup_section "cache";
   speedup_section "incremental";
+  speedup_section "repair";
   (match Json.member "serve" doc with
    | Some serve ->
      (match num (Json.member "throughput_jobs_per_s" serve) with

@@ -3,7 +3,7 @@
     Compares a freshly measured perf document against a checked-in
     baseline and reports every gated metric that moved past tolerance
     in its bad direction: kernel [ns_per_run] must not rise, parallel,
-    cache and incremental [speedup] must not fall, serve throughput
+    cache, incremental and repair [speedup] must not fall, serve throughput
     must not fall, serve [p95_ms] must not rise. Metrics are matched by name, so
     kernels added or removed on either side are skipped (and listed),
     never spuriously failed.

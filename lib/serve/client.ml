@@ -64,7 +64,8 @@ let prometheus t =
     in
     wait ()
 
-let submit_line ~id ?priority ?deadline_ms ?circuit ?scale ?levels ?atpg ?tables ?policy
+let submit_line ~id ?priority ?deadline_ms ?circuit ?scale ?levels ?atpg ?repair ?tables
+    ?policy
     ?fail_attempts ?sleep_ms () =
   let opt f name v = Option.map (fun v -> (name, f v)) v in
   let fields =
@@ -77,6 +78,7 @@ let submit_line ~id ?priority ?deadline_ms ?circuit ?scale ?levels ?atpg ?tables
         opt (fun f -> J.Float f) "scale" scale;
         opt (fun ls -> J.List (List.map (fun l -> J.Int l) ls)) "levels" levels;
         opt (fun b -> J.Bool b) "atpg" atpg;
+        opt (fun b -> J.Bool b) "repair" repair;
         opt (fun ts -> J.List (List.map (fun t -> J.Int t) ts)) "tables" tables;
         opt (fun s -> J.String s) "policy" policy;
         opt (fun i -> J.Int i) "fail_attempts" fail_attempts;

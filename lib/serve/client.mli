@@ -41,6 +41,7 @@ val submit_line :
   ?scale:float ->
   ?levels:int list ->
   ?atpg:bool ->
+  ?repair:bool ->
   ?tables:int list ->
   ?policy:string ->
   ?fail_attempts:int ->

@@ -352,7 +352,7 @@ let run_levels t (job : job) spec ~tamper =
       let g =
         Experiment.run_one_guarded ?pool:t.pool ?cache:t.cache ~policy:s.Protocol.policy
           ?tamper ~cancel:job.j_cancel ~on_stage ~lint:t.cfg.lint
-          ~with_atpg:s.Protocol.with_atpg spec ~tp_pct
+          ~repair:s.Protocol.repair ~with_atpg:s.Protocol.with_atpg spec ~tp_pct
       in
       let failed = g.Experiment.g_report.Guard.result = None in
       if failed && s.Protocol.policy = Guard.Fail_fast then List.rev (g :: acc)
@@ -367,7 +367,10 @@ let render_output (spec : Protocol.job_spec) grows =
     if List.mem 1 spec.Protocol.tables && spec.Protocol.with_atpg then
       Buffer.add_string buf (Report.table1 rows);
     if List.mem 2 spec.Protocol.tables then Buffer.add_string buf (Report.table2 rows);
-    if List.mem 3 spec.Protocol.tables then Buffer.add_string buf (Report.table3 rows)
+    if List.mem 3 spec.Protocol.tables then begin
+      Buffer.add_string buf (Report.table3 rows);
+      if spec.Protocol.repair then Buffer.add_string buf (Report.table3_repaired rows)
+    end
   end;
   Buffer.add_string buf (Report.guarded_summary grows);
   Buffer.contents buf

@@ -8,6 +8,7 @@ type job_spec = {
   scale : float option;
   tp_levels : int list;
   with_atpg : bool;
+  repair : bool;
   tables : int list;
   policy : Flow.Guard.policy;
   fail_attempts : int;
@@ -19,6 +20,7 @@ let default_spec =
     scale = None;
     tp_levels = [ 0; 1; 2; 3; 4; 5 ];
     with_atpg = false;
+    repair = false;
     tables = [ 2; 3 ];
     policy = Flow.Guard.Fail_fast;
     fail_attempts = 0;
@@ -176,6 +178,7 @@ let parse_submit j =
       scale = float_field "scale" j;
       tp_levels;
       with_atpg = Option.value ~default:false (bool_field "atpg" j);
+      repair = Option.value ~default:false (bool_field "repair" j);
       tables;
       policy;
       fail_attempts;

@@ -34,6 +34,9 @@ type job_spec = {
   scale : float option;
   tp_levels : int list;
   with_atpg : bool;
+  repair : bool;
+      (** run the step-7 {!Flow.Repair} stage per level; table 3 output
+          then also carries the repaired-vs-unrepaired comparison *)
   tables : int list;
   policy : Flow.Guard.policy;
   fail_attempts : int;

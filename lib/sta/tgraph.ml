@@ -368,7 +368,23 @@ let sync_topology t ~nets ~insts =
   ensure_net_capacity t (Design.num_nets d);
   t.ni <- Design.num_insts d;
   t.nn <- Design.num_nets d;
+  (* shrink: a speculative-edit rollback (Design.remove_last_instance/net)
+     dropped the
+     newest cells/nets. Their slots go stale — harmless, every live read is
+     bounded by [ni]/[nn] and regrowth re-syncs them — but the evaluation
+     order may still list a dead instance, so it must be rebuilt. Levels of
+     surviving instances are left as they are: a level raised by the undone
+     edit still over-approximates, which is all propagation order needs. *)
+  if t.ni < old_ni || t.nn < old_nn then t.order_valid <- false;
+  (* growth: a fresh instance may land in a slot a rollback freed. The dead
+     occupant's level can sit at or above the newcomer's true level, in
+     which case the raise-only [relevel] below would leave both the level
+     and — fatally — [order_valid] untouched, and a propagate would replay
+     an order that predates this instance. Zero the reborn slots and force
+     an order rebuild. *)
+  if t.ni > old_ni then t.order_valid <- false;
   for iid = old_ni to t.ni - 1 do
+    t.level.(iid) <- 0;
     sync_inst t iid
   done;
   for nid = old_nn to t.nn - 1 do

@@ -40,6 +40,9 @@ val sync_topology : t -> nets:int list -> insts:int list -> unit
     automatically; [nets]/[insts] must list every {e pre-existing} net
     whose driver/sink set changed and every pre-existing instance whose
     cell was swapped. Re-levelizes the affected cone (levels only rise).
+    Also absorbs a shrink — a speculative-edit rollback that removed the
+    newest instances/nets ({!Netlist.Design.remove_last_instance}) — by
+    retiring their mirror slots and rebuilding the evaluation order.
     Raises {!Analysis.Combinational_cycle} if the edit closed a loop. *)
 
 (** {1 Queries} *)

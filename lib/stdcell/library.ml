@@ -64,6 +64,14 @@ let input_names ?arity kind =
   | Cell.Mux2, 3 -> [ "A"; "B"; "S" ]
   | _ -> List.init n input_name
 
+(* Input-stage asymmetry: pin A sits closest to the output node of the
+   transistor stack and switches fastest; every later input pays a small
+   extra stack delay. Real libraries characterise each arc separately, and
+   the asymmetry is what gives commutative-pin swapping (Flow.Repair) a
+   lever — moving the latest-arriving signal onto the fastest pin shortens
+   the worst arc. Single-input kinds are unaffected (factor 1 at pin 0). *)
+let pin_d0_factor i = 1.0 +. (0.05 *. float_of_int i)
+
 let make_comb kind drive =
   let d0, r, cap, width = List.assoc kind comb_params in
   let d0 = scale_d0 d0 drive
@@ -74,8 +82,13 @@ let make_comb kind drive =
   let inputs = List.map (fun name -> Pin.input name ~cap:(pin_cap name)) names in
   let pins = Array.of_list (inputs @ [ Pin.output "Y" ]) in
   let out = Array.length pins - 1 in
-  let delay = delay_lut ~d0 ~r ~drive and out_slew = slew_lut ~d0 ~r ~drive in
-  let arc i : Cell.arc = { from_pin = i; to_pin = out; delay; out_slew; test_only = false } in
+  let arc i : Cell.arc =
+    let d0 = d0 *. pin_d0_factor i in
+    { from_pin = i; to_pin = out;
+      delay = delay_lut ~d0 ~r ~drive;
+      out_slew = slew_lut ~d0 ~r ~drive;
+      test_only = false }
+  in
   { Cell.name = cell_name kind drive;
     kind;
     drive;
@@ -235,6 +248,15 @@ let upsize t (c : Cell.t) =
     | d :: (d' :: _ as rest) -> if d = c.drive then Some d' else next rest
   in
   match next (drives c.kind) with
+  | None -> None
+  | Some d -> find_opt t c.kind ~drive:d
+
+let downsize t (c : Cell.t) =
+  let rec prev = function
+    | [] | [ _ ] -> None
+    | d :: (d' :: _ as rest) -> if d' = c.drive then Some d else prev rest
+  in
+  match prev (drives c.kind) with
   | None -> None
   | Some d -> find_opt t c.kind ~drive:d
 

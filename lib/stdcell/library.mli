@@ -32,6 +32,12 @@ val upsize : t -> Cell.t -> Cell.t option
     resolve slow nodes (which the paper's experiments deliberately do not
     do — see §4.4 — but the ablation benches exercise it). *)
 
+val downsize : t -> Cell.t -> Cell.t option
+(** The same kind at the next smaller drive, if characterised; [None] at
+    minimum drive. The area-recovery move of {!Flow.Repair} — shrink
+    cells with timing to spare — and the exact inverse of {!upsize}, which
+    is what lets a trial upsize be reverted in place. *)
+
 val fillers : t -> Cell.t list
 (** Filler cells in decreasing width order, for gap filling (step 4). *)
 

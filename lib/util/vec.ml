@@ -58,3 +58,7 @@ let exists p v =
 let map_to_array f v = Array.init v.len (fun i -> f (Array.unsafe_get v.data i))
 
 let clear v = v.len <- 0
+
+let truncate v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.truncate";
+  v.len <- n

@@ -23,3 +23,8 @@ val of_array : 'a array -> 'a t
 val exists : ('a -> bool) -> 'a t -> bool
 val map_to_array : ('a -> 'b) -> 'a t -> 'b array
 val clear : 'a t -> unit
+
+val truncate : 'a t -> int -> unit
+(** [truncate v n] drops every element at index [n] and above ([n] must be
+    [<= length v]); capacity is retained. The undo primitive behind
+    speculative netlist edits ({!Netlist.Design.remove_last_instance}). *)

@@ -16,6 +16,7 @@ let () =
       ("incremental", Test_incremental.suite);
       ("extra", Test_extra.suite);
       ("timingfix", Test_timingfix.suite);
+      ("repair", Test_repair.suite);
       ("properties", Test_props.suite);
       ("edge-cases", Test_more.suite);
       ("flow", Test_flow.suite);

@@ -194,12 +194,12 @@ let test_hit_accounting () =
   let stage_hits () = M.value (M.counter "cache.stage_hits") in
   let stage_misses () = M.value (M.counter "cache.stage_misses") in
   let _ = render ~cache:store () in
-  (* 6 stages x 3 levels, all cold *)
-  Alcotest.(check int) "cold run misses every stage" 18 (stage_misses ());
+  (* 7 stages x 3 levels, all cold *)
+  Alcotest.(check int) "cold run misses every stage" 21 (stage_misses ());
   Alcotest.(check int) "cold run hits nothing" 0 (stage_hits ());
-  Alcotest.(check int) "one entry per stage plus design-gen" 19 (Store.mem_entries store);
+  Alcotest.(check int) "one entry per stage plus design-gen" 22 (Store.mem_entries store);
   let _ = render ~cache:store () in
-  Alcotest.(check int) "warm run hits every stage" 18 (stage_hits ());
+  Alcotest.(check int) "warm run hits every stage" 21 (stage_hits ());
   Alcotest.(check int) "warm run misses nothing" 0 (stage_misses ())
 
 let test_corrupted_entries_recompute () =

@@ -16,8 +16,8 @@ let test_guarded_flow_completes () =
   Alcotest.(check bool) "succeeded" true (G.succeeded r);
   Alcotest.(check bool) "has result" true (r.G.result <> None);
   Alcotest.(check int) "one attempt" 1 r.G.attempts;
-  Alcotest.(check int) "six stages logged" 6 (List.length r.G.stage_log);
-  Alcotest.(check int) "all completed" 6 (List.length (G.completed_stages r));
+  Alcotest.(check int) "seven stages logged" 7 (List.length r.G.stage_log);
+  Alcotest.(check int) "all completed" 7 (List.length (G.completed_stages r));
   List.iter
     (fun (_, st) ->
       match st with
@@ -27,7 +27,7 @@ let test_guarded_flow_completes () =
 
 let test_injection_matrix () =
   let outcomes = I.selftest () in
-  Alcotest.(check int) "ten classes" 10 (List.length outcomes);
+  Alcotest.(check int) "eleven classes" 11 (List.length outcomes);
   List.iter
     (fun (o : I.outcome) ->
       (* every class must land in the expected stage with the expected

@@ -101,8 +101,8 @@ let test_clean_design () =
 
 let test_registry () =
   let rules = Engine.all_rules in
-  Alcotest.(check int) "17 registered rules" 17 (List.length rules);
-  Alcotest.(check int) "3 packs" 3 (List.length Engine.packs);
+  Alcotest.(check int) "20 registered rules" 20 (List.length rules);
+  Alcotest.(check int) "4 packs" 4 (List.length Engine.packs);
   let ids = List.map (fun r -> r.Rule.id) rules in
   let uniq = List.sort_uniq compare ids in
   Alcotest.(check int) "rule ids unique" (List.length ids) (List.length uniq);
@@ -112,7 +112,7 @@ let test_registry () =
                        && String.sub r.Rule.id 0 (String.length p) = p in
       Alcotest.(check bool)
         (r.Rule.id ^ " pack-prefixed") true
-        (List.exists prefixed [ "struct."; "clock."; "scan."; "tpi." ]))
+        (List.exists prefixed [ "struct."; "clock."; "scan."; "tpi."; "repair." ]))
     rules
 
 let test_stats_cover_rules () =

@@ -154,7 +154,7 @@ let test_chrome_trace_roundtrip () =
       (fun sp -> String.length sp.T.name > 6 && String.sub sp.T.name 0 6 = "stage.")
       spans
   in
-  Alcotest.(check int) "six top-level stage spans" 6 (List.length stage_spans);
+  Alcotest.(check int) "seven top-level stage spans" 7 (List.length stage_spans);
   List.iter
     (fun sp -> Alcotest.(check int) "stage spans are roots" (-1) sp.T.parent)
     stage_spans;

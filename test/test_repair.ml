@@ -1,0 +1,243 @@
+(* flow.Repair: post-route WNS/TNS-driven ECO repair, its exactness
+   contract across STA modes, and the Timingfix accept-worse regression *)
+module Design = Netlist.Design
+module Cell = Stdcell.Cell
+module A = Sta.Analysis
+module T = Sta.Tgraph
+module R = Flow.Repair
+module TF = Flow.Timingfix
+
+let bits = Int64.bits_of_float
+
+let check_floats_bitwise msg (a : float array) (b : float array) =
+  Alcotest.(check int) (msg ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if bits x <> bits b.(i) then
+        Alcotest.failf "%s: index %d: %h <> %h" msg i x b.(i))
+    a
+
+let check_analysis_equal msg (x : A.t) (y : A.t) =
+  check_floats_bitwise (msg ^ " arrival") x.A.arrival y.A.arrival;
+  check_floats_bitwise (msg ^ " slew") x.A.slew y.A.slew;
+  Alcotest.(check bool) (msg ^ " per_domain") true (x.A.per_domain = y.A.per_domain);
+  Alcotest.(check bool) (msg ^ " worst") true (x.A.worst = y.A.worst)
+
+(* a placed+TPI'd design fresh out of the pipeline; rebuilt identically on
+   every call so each STA mode can mutate its own copy *)
+let placed ?(seed = 9) ?(ffs = 50) ?(gates = 500) ?(tp_percent = 2.0) () =
+  let d = Circuits.Bench.tiny ~seed ~ffs ~gates () in
+  let options =
+    { Flow.Pipeline.default_options with
+      Flow.Pipeline.tp_percent;
+      run_atpg = false }
+  in
+  let r = Flow.Pipeline.run ~options d in
+  (r.Flow.Pipeline.placement, r.Flow.Pipeline.route, r.Flow.Pipeline.rc)
+
+let test_repair_improves () =
+  let pl, rt, rc = placed () in
+  let rep = R.run ~route:rt ~rc pl in
+  Alcotest.(check bool) "tried some ECOs" true (rep.R.tried > 0);
+  Alcotest.(check bool) "wns never degrades" true (rep.R.wns_after >= rep.R.wns_before);
+  Alcotest.(check bool) "t_cp never degrades" true
+    (rep.R.t_cp_after <= rep.R.t_cp_before);
+  Alcotest.(check int) "accepted = sum of kinds" rep.R.accepted
+    (rep.R.buffers_inserted + rep.R.upsized + rep.R.downsized + rep.R.swapped);
+  Alcotest.(check int) "one edit record per trial" rep.R.tried
+    (List.length rep.R.edits);
+  Alcotest.(check int) "accepted edit records" rep.R.accepted
+    (List.length (List.filter (fun (e : R.eco) -> e.R.accepted) rep.R.edits))
+
+(* the report must describe the design actually left behind: re-route,
+   re-extract and re-analyse the mutated placement from scratch and compare.
+   This is what pins the exact-revert discipline — one leaky rejected trial
+   and the fresh analysis walks a different design. *)
+let test_repair_state_coherent () =
+  let pl, rt, rc = placed ~seed:13 () in
+  let rep = R.run ~route:rt ~rc pl in
+  let rt' = Layout.Route.run pl in
+  let rc' = Layout.Extract.run pl rt' in
+  let fresh = A.run pl rc' in
+  check_analysis_equal "report sta vs fresh analysis" fresh rep.R.sta;
+  Alcotest.(check bool) "t_cp_after is the fresh worst" true
+    (match fresh.A.worst with
+     | Some p -> bits p.A.t_cp = bits rep.R.t_cp_after
+     | None -> false);
+  Alcotest.(check bool) "route wirelength" true
+    (bits rt'.Layout.Route.total_wirelength
+    = bits rep.R.route.Layout.Route.total_wirelength);
+  Alcotest.(check bool) "reported area is live area" true
+    (bits rep.R.cell_area_after
+    = bits (Netlist.Stats.compute pl.Layout.Place.design).Netlist.Stats.cell_area)
+
+let test_repair_modes_identical () =
+  let run mode =
+    let pl, rt, rc = placed ~seed:21 () in
+    R.run ~mode ~route:rt ~rc pl
+  in
+  let full = run R.Full_sta in
+  let inc = run R.Incremental_sta in
+  Alcotest.(check int) "passes" full.R.passes inc.R.passes;
+  Alcotest.(check int) "tried" full.R.tried inc.R.tried;
+  Alcotest.(check int) "accepted" full.R.accepted inc.R.accepted;
+  Alcotest.(check int) "buffers" full.R.buffers_inserted inc.R.buffers_inserted;
+  Alcotest.(check int) "upsized" full.R.upsized inc.R.upsized;
+  Alcotest.(check int) "downsized" full.R.downsized inc.R.downsized;
+  Alcotest.(check int) "swapped" full.R.swapped inc.R.swapped;
+  List.iter
+    (fun (name, a, b) ->
+      if bits a <> bits b then Alcotest.failf "%s: %h <> %h" name a b)
+    [ ("wns_before", full.R.wns_before, inc.R.wns_before);
+      ("wns_after", full.R.wns_after, inc.R.wns_after);
+      ("tns_after", full.R.tns_after, inc.R.tns_after);
+      ("t_cp_after", full.R.t_cp_after, inc.R.t_cp_after);
+      ("area_after", full.R.cell_area_after, inc.R.cell_area_after);
+      ( "wirelength",
+        full.R.route.Layout.Route.total_wirelength,
+        inc.R.route.Layout.Route.total_wirelength ) ];
+  (* every trial — target, verdict and objective movement — matches *)
+  List.iter2
+    (fun (a : R.eco) (b : R.eco) ->
+      if
+        a.R.kind <> b.R.kind || a.R.target <> b.R.target
+        || a.R.accepted <> b.R.accepted
+        || bits a.R.wns_gain_ps <> bits b.R.wns_gain_ps
+      then
+        Alcotest.failf "trial diverges: %s %s vs %s %s" (R.kind_name a.R.kind)
+          a.R.target (R.kind_name b.R.kind) b.R.target)
+    full.R.edits inc.R.edits;
+  check_analysis_equal "pre_sta" full.R.pre_sta inc.R.pre_sta;
+  check_analysis_equal "post sta" full.R.sta inc.R.sta
+
+let test_repair_pre_sta_is_unrepaired () =
+  (* pre_sta must be byte-identical to the STA an unrepaired flow reports —
+     the contract that lets one repaired sweep fill both Table 3 columns *)
+  let _, _, rc0 = placed ~seed:29 () in
+  let pl, rt, rc = placed ~seed:29 () in
+  let unrepaired = A.run pl rc0 in
+  let rep = R.run ~route:rt ~rc pl in
+  check_analysis_equal "pre_sta vs unrepaired flow" unrepaired rep.R.pre_sta
+
+(* regression for the stale-level rebirth bug: a rejected buffer frees the
+   newest instance slot, a later propagate rebuilds the evaluation order
+   without it, and the next buffer reuses the slot. Its true level sits at
+   or below the dead occupant's, so the raise-only releveler used to leave
+   [order_valid] standing — and full-STA propagate skipped the reborn cell,
+   leaving its output net at the -inf seed. *)
+let test_full_sta_slot_rebirth () =
+  let pl, rt, rc = placed ~seed:9 () in
+  let ctx = Flow.Retime.create ~full_sta:true pl rt rc in
+  let d = Flow.Retime.design ctx in
+  let tg = Flow.Retime.tgraph ctx in
+  (* deepest and shallowest cell-driven nets with sinks *)
+  let deep = ref (-1) and shallow = ref (-1) in
+  for nid = 0 to Design.num_nets d - 1 do
+    let n = Design.net d nid in
+    match n.Design.driver with
+    | Design.Cell_pin _ when n.Design.sinks <> [] ->
+      if !deep < 0 || T.net_level tg nid > T.net_level tg !deep then deep := nid;
+      if !shallow < 0 || T.net_level tg nid < T.net_level tg !shallow then
+        shallow := nid
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "level gap" true
+    (T.net_level tg !deep > T.net_level tg !shallow);
+  let b1, _ = Flow.Retime.insert_buffer ctx ~net:!deep in
+  ignore (Flow.Retime.remove_buffer ctx ~inst:b1.Design.id);
+  let b2, _ = Flow.Retime.insert_buffer ctx ~net:!shallow in
+  let out = (Design.inst d b2.Design.id).Design.conns.(1) in
+  let arrival, _, _, _ = T.arrival_arrays tg in
+  Alcotest.(check bool) "reborn buffer was propagated" true
+    (arrival.(out) > neg_infinity);
+  (* and the whole graph equals a from-scratch analysis of the edited design *)
+  let rt' = Layout.Route.run pl in
+  let rc' = Layout.Extract.run pl rt' in
+  check_analysis_equal "post-rebirth" (A.run pl rc') (Flow.Retime.analysis ctx)
+
+(* ---- the Timingfix accept-worse regression ---- *)
+
+let test_timingfix_reports_best_state () =
+  (* the final round may regress timing; the report — and the design left
+     in the placement — must be the best state seen, not the last tried *)
+  List.iter
+    (fun mode ->
+      let d = Circuits.Bench.tiny ~seed:29 ~ffs:40 ~gates:400 () in
+      let fp = Layout.Floorplan.create d in
+      let pl = Layout.Place.run d fp in
+      let r = TF.run ~max_rounds:10 ~mode pl in
+      Alcotest.(check bool) "never worse than start" true
+        (r.TF.t_cp_after <= r.TF.t_cp_before);
+      (* a fresh analysis of the mutated design reports exactly t_cp_after:
+         the degrading round's upsizes were rolled back cell-for-cell *)
+      let rt = Layout.Route.run pl in
+      let rc = Layout.Extract.run pl rt in
+      let fresh = A.run pl rc in
+      (match fresh.A.worst with
+       | Some p ->
+         if bits p.A.t_cp <> bits r.TF.t_cp_after then
+           Alcotest.failf "reported %h but the design times at %h" r.TF.t_cp_after
+             p.A.t_cp
+       | None -> Alcotest.fail "no worst path");
+      check_analysis_equal "report sta vs live design" fresh r.TF.sta)
+    [ TF.Full_sta; TF.Incremental_sta ]
+
+let test_worst_tcp_option () =
+  (* constrained design: Some of the worst path's t_cp *)
+  let pl, _, rc = placed ~seed:9 () in
+  let sta = A.run pl rc in
+  (match (TF.worst_tcp sta, sta.A.worst) with
+   | Some t, Some p -> Alcotest.(check bool) "some" true (bits t = bits p.A.t_cp)
+   | _ -> Alcotest.fail "expected a constrained path");
+  (* purely combinational design: no endpoint, no sentinel leaking out *)
+  let d = Circuits.Iscas.parse "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n" in
+  let fp = Layout.Floorplan.create d in
+  let pl = Layout.Place.run d fp in
+  let rt = Layout.Route.run pl in
+  let rc = Layout.Extract.run pl rt in
+  let sta = A.run pl rc in
+  Alcotest.(check bool) "none on unconstrained design" true
+    (TF.worst_tcp sta = None)
+
+(* ---- typed generator/parser errors (the retired assert-false paths) ---- *)
+
+let test_typed_circuit_errors () =
+  (* a degenerate gate line surfaces as Parse_error, not an assert *)
+  Alcotest.(check bool) "empty operand list" true
+    (try
+       ignore (Circuits.Iscas.parse "INPUT(a)\nOUTPUT(y)\ny = AND()\n");
+       false
+     with Circuits.Iscas.Parse_error _ -> true);
+  (* inconsistent profiles fail validation up front... *)
+  let bad = { Circuits.Bench.s38417_profile with Circuits.Profile.num_pis = 0 } in
+  Alcotest.(check bool) "invalid profile" true
+    (try Circuits.Profile.validate bad; false with Invalid_argument _ -> true);
+  (* ...while mid-generation invariants have their own typed exception *)
+  Alcotest.(check bool) "generation error carries its message" true
+    (try raise (Circuits.Synth.Generation_error "invariant")
+     with Circuits.Synth.Generation_error m -> m = "invariant")
+
+(* ---- QCheck: repair never loses timing at any TP density ---- *)
+
+let prop_repaired_never_worse =
+  QCheck.Test.make ~name:"repaired T_cp <= unrepaired at any TP level" ~count:4
+    QCheck.(pair (int_range 1 1000) (int_range 0 8))
+    (fun (seed, tp) ->
+      let pl, rt, rc = placed ~seed ~tp_percent:(float_of_int tp) () in
+      let rep = R.run ~route:rt ~rc pl in
+      rep.R.t_cp_after <= rep.R.t_cp_before
+      && rep.R.wns_after >= rep.R.wns_before)
+
+let suite =
+  [ Alcotest.test_case "repair improves" `Slow test_repair_improves;
+    Alcotest.test_case "repair leaves coherent state" `Slow
+      test_repair_state_coherent;
+    Alcotest.test_case "STA modes byte-identical" `Slow test_repair_modes_identical;
+    Alcotest.test_case "pre_sta = unrepaired flow" `Slow
+      test_repair_pre_sta_is_unrepaired;
+    Alcotest.test_case "full-STA slot rebirth" `Slow test_full_sta_slot_rebirth;
+    Alcotest.test_case "timingfix reports best state" `Slow
+      test_timingfix_reports_best_state;
+    Alcotest.test_case "worst_tcp option" `Quick test_worst_tcp_option;
+    Alcotest.test_case "typed circuit errors" `Quick test_typed_circuit_errors;
+    QCheck_alcotest.to_alcotest prop_repaired_never_worse ]

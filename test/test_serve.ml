@@ -334,11 +334,11 @@ let test_served_byte_identity () =
            | Some served -> Alcotest.(check string) "served = one-shot" expected served
            | None -> Alcotest.fail "job did not complete");
           Alcotest.(check int) "single attempt" 1 o.Client.attempts;
-          (* per-stage streaming: 6 stages x 2 levels, all ok *)
+          (* per-stage streaming: 7 stages x 2 levels, all ok *)
           let stages =
             List.filter (fun e -> Protocol.event_of e = "stage") o.Client.events
           in
-          Alcotest.(check int) "stage events" 12 (List.length stages);
+          Alcotest.(check int) "stage events" 14 (List.length stages);
           Alcotest.(check bool) "all stages ok" true
             (List.for_all
                (fun e -> Protocol.str_field "status" e = Some "ok")
